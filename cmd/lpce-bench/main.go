@@ -1,0 +1,104 @@
+// Command lpce-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lpce-bench [-scale tiny|small|full] [-seed N] [-experiment all|table1|
+//	           figure1|endtoend|refinement|ablations|figure17|figure18] [-o file]
+//
+// The default runs every experiment at small scale and streams the rendered
+// tables to stdout. "endtoend" covers Table 2 and Figures 11–15;
+// "refinement" covers Figure 16 and Table 3; "ablations" covers Figures
+// 19–21.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/experiments"
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+func main() {
+	scale := flag.String("scale", "small", "experiment scale: tiny, small, or full")
+	seed := flag.Int64("seed", 1, "random seed for data, workload and model init")
+	exp := flag.String("experiment", "all", "experiment to run")
+	out := flag.String("o", "", "write output to this file instead of stdout")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = io.MultiWriter(os.Stdout, f)
+	}
+
+	start := time.Now()
+	fmt.Fprintf(w, "setting up environment (scale=%s, seed=%d)...\n", *scale, *seed)
+	env := experiments.Setup(experiments.ParseScale(*scale), *seed)
+	fmt.Fprintf(w, "setup done in %s\n\n", time.Since(start).Round(time.Millisecond))
+
+	if err := run(env, *exp, w); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(w, "\ntotal wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}
+
+func run(env *experiments.Env, exp string, w io.Writer) error {
+	switch exp {
+	case "all":
+		return experiments.RunAll(env, w)
+	case "table1":
+		fmt.Fprintln(w, experiments.Table1(env).Render())
+	case "figure1":
+		fmt.Fprintln(w, experiments.Figure1(env).Render())
+	case "endtoend":
+		sets := []struct {
+			label   string
+			queries []*query.Query
+		}{
+			{env.JoinLowLabel, env.JoinLow},
+			{env.JoinHighLabel, env.JoinHigh},
+			{env.JoinTinyLabel, env.JoinTiny},
+		}
+		for _, set := range sets {
+			suite, err := env.RunSuite(set.label, set.queries)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(w, experiments.Figure11(suite).Render())
+			fmt.Fprintln(w, experiments.Table2(suite).Render())
+			fmt.Fprintln(w, experiments.Figure12(suite).Render())
+			fmt.Fprintln(w, experiments.Figure13(suite).Render())
+			fmt.Fprintln(w, experiments.Figure14(suite).Render())
+		}
+	case "refinement":
+		samples := env.CollectTestSamples(env.JoinHigh)
+		fmt.Fprintln(w, experiments.Figure16(env, env.JoinHighLabel, samples).Render())
+		fmt.Fprintln(w, experiments.Table3(env, samples).Render())
+	case "ablations":
+		fmt.Fprintln(w, experiments.Figure19And20(env).Render())
+		fmt.Fprintln(w, experiments.Figure21(env).Render())
+	case "figure17":
+		fmt.Fprintln(w, experiments.Figure17(env).Render())
+	case "figure18":
+		fmt.Fprintln(w, experiments.Figure18(env).Render())
+	case "joblike":
+		r, err := experiments.JobSuite(env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q", exp)
+	}
+	return nil
+}

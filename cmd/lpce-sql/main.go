@@ -1,0 +1,123 @@
+// Command lpce-sql is an interactive SQL shell over a generated database:
+// type COUNT(*) queries and watch the optimizer, the learned estimator and
+// the re-optimizing executor at work.
+//
+// Usage:
+//
+//	lpce-sql [-titles N] [-seed N] [-estimator histogram|lpce|lpce-r]
+//
+// Shell commands:
+//
+//	SELECT COUNT(*) FROM ... ;      execute a query
+//	EXPLAIN SELECT ...              show the chosen plan without executing
+//	\tables                         list tables and row counts
+//	\sample [joins]                 print a random generated query
+//	\quit                           exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/datagen"
+	"github.com/lpce-db/lpce/internal/encode"
+	"github.com/lpce-db/lpce/internal/engine"
+	"github.com/lpce-db/lpce/internal/histogram"
+	"github.com/lpce-db/lpce/internal/sqlparse"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+func main() {
+	titles := flag.Int("titles", 1500, "rows in the central title table")
+	seed := flag.Int64("seed", 1, "random seed")
+	estName := flag.String("estimator", "lpce-r", "histogram, lpce, or lpce-r")
+	flag.Parse()
+
+	fmt.Printf("generating database (titles=%d)...\n", *titles)
+	db := datagen.Generate(datagen.Config{Titles: *titles, Seed: *seed})
+	eng := engine.New(db)
+	gen := workload.NewGenerator(db, *seed+1)
+
+	var est cardest.Estimator = histogram.NewEstimator(db)
+	var refiner *core.Refiner
+	if *estName == "lpce" || *estName == "lpce-r" {
+		fmt.Println("training LPCE models (a few seconds)...")
+		enc := encode.NewEncoder(db.Schema)
+		samples, _ := core.CollectSamples(db, histogram.NewEstimator(db),
+			gen.QueriesRange(180, 2, 6), 40_000_000)
+		logMax := core.MaxLogCard(samples)
+		cfg := core.TrainConfig{Hidden: 24, OutWidth: 32, Epochs: 20, NodeWise: true, Seed: *seed}
+		lpcei := core.TrainLPCEI(core.LPCEIConfig{
+			Teacher: cfg,
+			Student: core.TrainConfig{Hidden: 10, OutWidth: 12, Epochs: 15, NodeWise: true, Seed: *seed},
+		}, enc, samples, logMax)
+		est = &core.TreeEstimator{Label: "lpce-i", Model: lpcei.Model, Enc: enc}
+		if *estName == "lpce-r" {
+			refiner = core.TrainRefiner(core.RefinerConfig{Kind: core.RefinerFull, Base: cfg, AdjustEpochs: 10},
+				enc, db, samples, logMax)
+		}
+	}
+	fmt.Printf("ready (estimator=%s). Try \\tables, \\sample 4, or a SELECT COUNT(*) query.\n", est.Name())
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("lpce> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+			continue
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\tables`:
+			for _, t := range db.Tables {
+				fmt.Printf("  %-18s %8d rows  %d columns\n", t.Meta.Name, t.NumRows(), len(t.Meta.Columns))
+			}
+		case strings.HasPrefix(line, `\sample`):
+			joins := 4
+			if fields := strings.Fields(line); len(fields) > 1 {
+				if n, err := strconv.Atoi(fields[1]); err == nil {
+					joins = n
+				}
+			}
+			fmt.Println(" ", gen.Query(joins).SQL())
+		case strings.HasPrefix(strings.ToUpper(line), "EXPLAIN"):
+			sql := strings.TrimSpace(line[len("EXPLAIN"):])
+			q, err := sqlparse.Parse(db.Schema, sql)
+			if err != nil {
+				fmt.Println(" ", err)
+				continue
+			}
+			out, err := eng.Explain(q, est)
+			if err != nil {
+				fmt.Println(" ", err)
+				continue
+			}
+			fmt.Println(out)
+		default:
+			q, err := sqlparse.Parse(db.Schema, line)
+			if err != nil {
+				fmt.Println(" ", err)
+				continue
+			}
+			out, _, err := eng.ExplainAnalyze(q, engine.Config{
+				Estimator: est, Refiner: refiner, Budget: 500_000_000,
+			})
+			if err != nil {
+				fmt.Println(" ", err)
+				continue
+			}
+			fmt.Println(out)
+		}
+	}
+}

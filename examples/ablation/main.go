@@ -1,0 +1,92 @@
+// Ablation tour of LPCE-I's three design choices (paper §4): the SRU cell
+// versus LSTM, the node-wise versus query-wise loss, and knowledge
+// distillation versus directly training a small model.
+//
+// Run with: go run ./examples/ablation
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/datagen"
+	"github.com/lpce-db/lpce/internal/encode"
+	"github.com/lpce-db/lpce/internal/histogram"
+	"github.com/lpce-db/lpce/internal/treenn"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+func main() {
+	db := datagen.Generate(datagen.Config{Titles: 1000, Seed: 31})
+	enc := encode.NewEncoder(db.Schema)
+	gen := workload.NewGenerator(db, 32)
+
+	fmt.Println("collecting 180 training plans...")
+	samples, _ := core.CollectSamples(db, histogram.NewEstimator(db),
+		gen.QueriesRange(180, 2, 6), 60_000_000)
+	train, val := core.SplitTrainValidation(samples, 0.2)
+	logMax := core.MaxLogCard(samples)
+
+	big := core.TrainConfig{Hidden: 24, OutWidth: 32, Epochs: 6, NodeWise: true, Seed: 4}
+	small := core.TrainConfig{Hidden: 10, OutWidth: 12, Epochs: 5, NodeWise: true, Seed: 4}
+
+	fmt.Println("training 5 variants (takes a minute)...")
+	fmt.Println()
+
+	report := func(name string, m *treenn.TreeModel, trainDur time.Duration) {
+		mean, all := core.EvalQError(m, enc, val)
+		var p95 float64
+		if len(all) > 0 {
+			sorted := append([]float64(nil), all...)
+			for i := 0; i < len(sorted); i++ {
+				for j := i + 1; j < len(sorted); j++ {
+					if sorted[j] < sorted[i] {
+						sorted[i], sorted[j] = sorted[j], sorted[i]
+					}
+				}
+			}
+			p95 = sorted[len(sorted)*95/100]
+		}
+		fmt.Printf("%-28s weights=%-7d train=%-8s  mean q=%-8.2f p95 q=%.2f\n",
+			name, m.NumWeights(), trainDur.Round(time.Millisecond), mean, p95)
+	}
+
+	start := time.Now()
+	sru := core.TrainTreeModel(big, enc, train, logMax, nil)
+	report("SRU + node-wise (LPCE-S)", sru, time.Since(start))
+
+	lstmCfg := big
+	lstmCfg.Cell = treenn.CellLSTM
+	start = time.Now()
+	lstm := core.TrainTreeModel(lstmCfg, enc, train, logMax, nil)
+	report("LSTM + node-wise (LPCE-T)", lstm, time.Since(start))
+
+	qCfg := big
+	qCfg.NodeWise = false
+	start = time.Now()
+	qwise := core.TrainTreeModel(qCfg, enc, train, logMax, nil)
+	report("SRU + query-wise (LPCE-Q)", qwise, time.Since(start))
+
+	start = time.Now()
+	direct := core.TrainTreeModel(small, enc, train, logMax, nil)
+	report("small, direct (LPCE-C)", direct, time.Since(start))
+
+	start = time.Now()
+	distilled := core.Distill(core.LPCEIConfig{Teacher: big, Student: small}, enc, sru, train)
+	report("small, distilled (LPCE-I)", distilled, time.Since(start))
+
+	// per-estimate latency of the big vs small model
+	q := gen.Query(6)
+	est := func(m *treenn.TreeModel) time.Duration {
+		e := &core.TreeEstimator{Label: "x", Model: m, Enc: enc}
+		start := time.Now()
+		const reps = 200
+		for i := 0; i < reps; i++ {
+			e.EstimateSubset(q, q.AllTablesMask())
+		}
+		return time.Since(start) / reps
+	}
+	fmt.Printf("\nper-estimate inference: LSTM %v, SRU %v, distilled SRU %v\n",
+		est(lstm), est(sru), est(distilled))
+}

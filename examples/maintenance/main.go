@@ -1,0 +1,119 @@
+// Deployment maintenance walkthrough: the operational loop the paper
+// defers to future work (§3.2 data updates, §7.3 progressive training) —
+// deploy a trained estimator, monitor its live q-errors, shift the data
+// distribution with appends, watch the drift alarm fire, refresh statistics
+// and retrain.
+//
+// Run with: go run ./examples/maintenance
+package main
+
+import (
+	"fmt"
+
+	lpce "github.com/lpce-db/lpce"
+)
+
+func main() {
+	db := lpce.GenerateDatabase(lpce.DataConfig{Titles: 600, Seed: 51})
+	gen := lpce.NewWorkloadGenerator(db, 52)
+	enc := lpce.NewEncoder(db.Schema)
+	eng := lpce.NewEngine(db)
+
+	train := func(seed int64) (*lpce.TreeEstimator, float64) {
+		samples, _ := lpce.CollectSamples(db, lpce.NewHistogramEstimator(db),
+			gen.QueriesRange(120, 1, 4), 40_000_000)
+		logMax := lpce.MaxLogCard(samples)
+		model := lpce.TrainLPCEI(lpce.LPCEIConfig{
+			Teacher: lpce.TrainConfig{Hidden: 20, OutWidth: 24, Epochs: 20, NodeWise: true, Seed: seed},
+			Student: lpce.TrainConfig{Hidden: 10, OutWidth: 12, Epochs: 15, NodeWise: true, Seed: seed},
+		}, enc, samples, logMax)
+		est := lpce.NewTreeEstimator("lpce-i", model.Model, enc)
+		// validation baseline for the drift monitor: median q-error over a
+		// fresh batch of queries (true cardinalities come free from the
+		// executor on completed queries)
+		var qs []float64
+		for i := 0; i < 20; i++ {
+			q := gen.Query(2)
+			res, err := eng.Execute(q, lpce.EngineConfig{Estimator: est})
+			if err != nil {
+				panic(err)
+			}
+			est0 := est.EstimateSubset(q, q.AllTablesMask())
+			qs = append(qs, qerr(float64(res.Count), est0))
+		}
+		med := median(qs)
+		return est, med
+	}
+
+	fmt.Println("training initial model...")
+	est, baseline := train(1)
+	fmt.Printf("validation median q-error (drift baseline): %.2f\n", baseline)
+	monitor := lpce.NewDriftMonitor(baseline, 2.5, 20)
+
+	runBatch := func(label string) {
+		for i := 0; i < 20; i++ {
+			q := gen.Query(2)
+			res, err := eng.Execute(q, lpce.EngineConfig{Estimator: est})
+			if err != nil {
+				panic(err)
+			}
+			monitor.Observe(float64(res.Count), est.EstimateSubset(q, q.AllTablesMask()))
+		}
+		fmt.Printf("%-28s rolling median q-error = %-8.2f drifted = %v\n",
+			label, monitor.MedianQ(), monitor.Drifted())
+	}
+	runBatch("before data update:")
+
+	// Shift the data: one previously-quiet movie suddenly gets 6x the
+	// table's rows (a viral release), breaking the trained fan-out model.
+	fmt.Println("\nappending 6x cast_info rows concentrated on one movie...")
+	ci := db.TableByName("cast_info")
+	width := 4
+	var rows [][]int64
+	for i := 0; i < ci.NumRows()*6; i++ {
+		row := make([]int64, width)
+		row[0] = 7              // movie_id: one hot movie
+		row[1] = int64(i % 100) // person_id
+		row[2] = int64(i % 11)  // role_id
+		row[3] = int64(i % 50)  // person_role_id
+		rows = append(rows, row)
+	}
+	ci.AppendRows(rows)
+	lpce.RefreshStats(db)
+
+	runBatch("after data update:")
+	if monitor.Drifted() {
+		fmt.Println("\ndrift alarm fired -> retraining on fresh samples from the updated data")
+		est2, baseline2 := train(2)
+		est = est2
+		monitor = lpce.NewDriftMonitor(baseline2, 2.5, 20)
+		runBatch("after retraining:")
+	} else {
+		fmt.Println("\n(no drift detected on this sample; rerun with another seed to see the alarm)")
+	}
+}
+
+func qerr(a, b float64) float64 {
+	if a < 1 {
+		a = 1
+	}
+	if b < 1 {
+		b = 1
+	}
+	if a > b {
+		return a / b
+	}
+	return b / a
+}
+
+func median(x []float64) float64 {
+	y := append([]float64(nil), x...)
+	for i := range y {
+		for j := i + 1; j < len(y); j++ {
+			if y[j] < y[i] {
+				y[i], y[j] = y[j], y[i]
+			}
+		}
+	}
+	return y[len(y)/2]
+}

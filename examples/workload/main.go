@@ -1,0 +1,86 @@
+// Workload comparison: run a batch of deep-join queries end to end under
+// four estimator configurations — the histogram baseline, a data-driven
+// substitute (wander-join sampling), LPCE-I, and LPCE-R with
+// re-optimization — and print a miniature version of the paper's Table 2.
+//
+// Run with: go run ./examples/workload
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/datadriven"
+	"github.com/lpce-db/lpce/internal/datagen"
+	"github.com/lpce-db/lpce/internal/encode"
+	"github.com/lpce-db/lpce/internal/engine"
+	"github.com/lpce-db/lpce/internal/histogram"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+func main() {
+	db := datagen.Generate(datagen.Config{Titles: 1500, Seed: 21})
+	enc := encode.NewEncoder(db.Schema)
+	gen := workload.NewGenerator(db, 22)
+
+	fmt.Println("training LPCE models on 200 queries...")
+	samples, _ := core.CollectSamples(db, histogram.NewEstimator(db),
+		gen.QueriesRange(200, 3, 6), 60_000_000)
+	logMax := core.MaxLogCard(samples)
+	base := core.TrainConfig{Hidden: 24, OutWidth: 32, Epochs: 6, NodeWise: true, Seed: 3}
+	lpcei := core.TrainLPCEI(core.LPCEIConfig{
+		Teacher: base,
+		Student: core.TrainConfig{Hidden: 10, OutWidth: 12, Epochs: 4, NodeWise: true, Seed: 3},
+	}, enc, samples, logMax)
+	refiner := core.TrainRefiner(core.RefinerConfig{Kind: core.RefinerFull, Base: base},
+		enc, db, samples, logMax)
+	lpceiEst := &core.TreeEstimator{Label: "lpce-i", Model: lpcei.Model, Enc: enc}
+
+	configs := []struct {
+		name string
+		cfg  engine.Config
+	}{
+		{"PostgreSQL (histogram)", engine.Config{Estimator: histogram.NewEstimator(db)}},
+		{"NeuroCard-sim (sampling)", engine.Config{Estimator: datadriven.NewJoinSample(db, 400, 5)}},
+		{"LPCE-I", engine.Config{Estimator: lpceiEst}},
+		{"LPCE-R", engine.Config{Estimator: lpceiEst, Refiner: refiner}},
+	}
+
+	queries := gen.Queries(12, 6)
+	fmt.Printf("running %d Join-six queries under %d configurations...\n\n", len(queries), len(configs))
+	eng := engine.New(db)
+
+	totals := make(map[string][]float64)
+	var baseline []float64
+	for ci, c := range configs {
+		for _, q := range queries {
+			r, err := eng.Execute(q, c.cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			totals[c.name] = append(totals[c.name], r.Total().Seconds())
+			if ci == 0 {
+				baseline = append(baseline, r.Total().Seconds())
+			}
+		}
+	}
+
+	fmt.Printf("%-26s %12s %12s %16s\n", "configuration", "total", "median", "median reduction")
+	for _, c := range configs {
+		ts := totals[c.name]
+		var sum float64
+		reds := make([]float64, len(ts))
+		for i, t := range ts {
+			sum += t
+			reds[i] = (baseline[i] - t) / baseline[i]
+		}
+		sort.Float64s(reds)
+		sorted := append([]float64(nil), ts...)
+		sort.Float64s(sorted)
+		fmt.Printf("%-26s %11.1fms %11.1fms %15.1f%%\n",
+			c.name, sum*1e3, sorted[len(sorted)/2]*1e3, reds[len(reds)/2]*100)
+	}
+	fmt.Println("\n(reduction is relative to the histogram baseline, Eq. 9 of the paper)")
+}

@@ -1,0 +1,51 @@
+package lpce
+
+import (
+	"io"
+
+	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/maintain"
+	"github.com/lpce-db/lpce/internal/sqlparse"
+)
+
+// SQL front end.
+
+// ParseSQL compiles a COUNT(*) select-project-equijoin query from SQL text
+// against the schema (the dialect of paper §3; see internal/sqlparse for
+// the grammar).
+func ParseSQL(schema *Schema, sql string) (*Query, error) {
+	return sqlparse.Parse(schema, sql)
+}
+
+// Model persistence (self-describing files: architecture + weights).
+
+// SaveModel writes a tree model to w.
+func SaveModel(w io.Writer, m *TreeModel) error { return core.SaveTreeModel(w, m) }
+
+// LoadModel reads a tree model written by SaveModel.
+func LoadModel(r io.Reader) (*TreeModel, error) { return core.LoadTreeModel(r) }
+
+// SaveRefiner writes a trained LPCE-R to w.
+func SaveRefiner(w io.Writer, r *Refiner) error { return core.SaveRefiner(w, r) }
+
+// LoadRefiner reads a refiner written by SaveRefiner; the encoder and
+// database must match the training-time ones.
+func LoadRefiner(r io.Reader, enc *Encoder, db *Database) (*Refiner, error) {
+	return core.LoadRefiner(r, enc, db)
+}
+
+// Deployment maintenance (the paper's §3.2/§7.3 operational loop).
+
+// DriftMonitor tracks live estimation quality against the training-time
+// baseline and reports when re-training is warranted.
+type DriftMonitor = maintain.Monitor
+
+// NewDriftMonitor returns a monitor with the validation-time median
+// q-error baseline, a drift factor, and a rolling window size.
+func NewDriftMonitor(baselineMedianQ, factor float64, windowSize int) *DriftMonitor {
+	return maintain.NewMonitor(baselineMedianQ, factor, windowSize)
+}
+
+// RefreshStats recomputes catalog and histogram statistics after data
+// updates (ANALYZE).
+func RefreshStats(db *Database) { maintain.RefreshStats(db) }

@@ -1,0 +1,3 @@
+module github.com/lpce-db/lpce
+
+go 1.22

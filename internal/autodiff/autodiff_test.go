@@ -1,0 +1,223 @@
+package autodiff
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/lpce-db/lpce/internal/tensor"
+)
+
+// numGrad estimates d f / d x[i] by central differences, where f rebuilds
+// the computation from scratch on fresh tapes.
+func numGrad(f func(x tensor.Vec) float64, x tensor.Vec, i int) float64 {
+	const h = 1e-6
+	xp := x.Clone()
+	xp[i] += h
+	xm := x.Clone()
+	xm[i] -= h
+	return (f(xp) - f(xm)) / (2 * h)
+}
+
+// checkGrad verifies the analytic gradient of a scalar-valued computation
+// against central differences at every input coordinate.
+func checkGrad(t *testing.T, name string, build func(tp *Tape, x *Node) *Node, x tensor.Vec) {
+	t.Helper()
+	tp := NewTape()
+	in := tp.Input(x)
+	out := build(tp, in)
+	tp.Backward(out)
+	f := func(v tensor.Vec) float64 {
+		tp2 := NewTape()
+		return build(tp2, tp2.Input(v)).Scalar()
+	}
+	for i := range x {
+		want := numGrad(f, x, i)
+		got := in.Grad[i]
+		if math.Abs(want-got) > 1e-4*(1+math.Abs(want)) {
+			t.Fatalf("%s: grad[%d] = %v, numeric %v", name, i, got, want)
+		}
+	}
+}
+
+func TestGradElementwiseChain(t *testing.T) {
+	x := tensor.Vec{0.3, -0.7, 1.2}
+	checkGrad(t, "sigmoid-sum", func(tp *Tape, in *Node) *Node {
+		return tp.Sum(tp.Sigmoid(in))
+	}, x)
+	checkGrad(t, "tanh-sum", func(tp *Tape, in *Node) *Node {
+		return tp.Sum(tp.Tanh(in))
+	}, x)
+	checkGrad(t, "relu-sum", func(tp *Tape, in *Node) *Node {
+		return tp.Sum(tp.ReLU(in))
+	}, x)
+	checkGrad(t, "scale-addscalar", func(tp *Tape, in *Node) *Node {
+		return tp.Sum(tp.AddScalar(3, tp.Scale(-2.5, in)))
+	}, x)
+}
+
+func TestGradMulAddSub(t *testing.T) {
+	x := tensor.Vec{0.5, -1.5, 2.0, 0.1}
+	checkGrad(t, "mul-self-combination", func(tp *Tape, in *Node) *Node {
+		a := tp.Sigmoid(in)
+		b := tp.Tanh(in)
+		return tp.Sum(tp.Sub(tp.Mul(a, b), tp.Add(a, tp.OneMinus(b))))
+	}, x)
+}
+
+func TestGradConcatMean(t *testing.T) {
+	x := tensor.Vec{0.2, -0.4, 0.9, 1.1}
+	checkGrad(t, "concat", func(tp *Tape, in *Node) *Node {
+		a := tp.Sigmoid(in)
+		b := tp.Tanh(in)
+		return tp.Sum(tp.Mul(tp.Concat(a, b), tp.Concat(b, a)))
+	}, x)
+	checkGrad(t, "mean", func(tp *Tape, in *Node) *Node {
+		a := tp.Sigmoid(in)
+		b := tp.Tanh(in)
+		c := tp.ReLU(in)
+		return tp.Sum(tp.Mean([]*Node{a, b, c}))
+	}, x)
+}
+
+func TestGradAbsDiffSum(t *testing.T) {
+	x := tensor.Vec{0.5, -1.5, 2.0}
+	checkGrad(t, "absdiff", func(tp *Tape, in *Node) *Node {
+		a := tp.Sigmoid(in)
+		b := tp.Tanh(in)
+		return tp.AbsDiffSum(a, b)
+	}, x)
+}
+
+func TestGradSRUStyleCell(t *testing.T) {
+	// Exercise the exact op pattern an SRU cell uses: gates, complements and
+	// Hadamard mixing (Eq. 1 of the paper), ensuring gradients flow through
+	// reused nodes correctly.
+	x := tensor.Vec{0.3, -0.2, 0.8}
+	checkGrad(t, "sru-cell", func(tp *Tape, in *Node) *Node {
+		f := tp.Sigmoid(in)
+		r := tp.Sigmoid(tp.Scale(0.5, in))
+		c := tp.Add(tp.Mul(f, in), tp.Mul(tp.OneMinus(f), tp.Tanh(in)))
+		h := tp.Add(tp.Mul(r, tp.Tanh(c)), tp.Mul(tp.OneMinus(r), in))
+		return tp.Sum(h)
+	}, x)
+}
+
+func TestBackwardRequiresScalar(t *testing.T) {
+	tp := NewTape()
+	n := tp.Input(tensor.Vec{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-scalar Backward")
+		}
+	}()
+	tp.Backward(n)
+}
+
+func TestScalarAccessor(t *testing.T) {
+	tp := NewTape()
+	n := tp.Input(tensor.Vec{42})
+	if n.Scalar() != 42 {
+		t.Fatal("Scalar read failed")
+	}
+	bad := tp.Input(tensor.Vec{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Scalar on vector node")
+		}
+	}()
+	bad.Scalar()
+}
+
+func TestMultiOutputBackwardFrom(t *testing.T) {
+	// Accumulating two scalar losses then running BackwardFrom must equal
+	// the gradient of their sum.
+	x := tensor.Vec{0.4, -0.9}
+	tp := NewTape()
+	in := tp.Input(x)
+	l1 := tp.Sum(tp.Sigmoid(in))
+	l2 := tp.Sum(tp.Tanh(in))
+	l1.Grad[0] = 1
+	l2.Grad[0] = 1
+	tp.BackwardFrom()
+	grads := in.Grad.Clone()
+
+	checkSum := func(v tensor.Vec) float64 {
+		tp2 := NewTape()
+		in2 := tp2.Input(v)
+		return tp2.Sum(tp2.Sigmoid(in2)).Scalar() + tp2.Sum(tp2.Tanh(in2)).Scalar()
+	}
+	for i := range x {
+		want := numGrad(checkSum, x, i)
+		if math.Abs(grads[i]-want) > 1e-5 {
+			t.Fatalf("multi-output grad[%d] = %v, want %v", i, grads[i], want)
+		}
+	}
+}
+
+// Property: gradient of Sum(Mul(a,b)) w.r.t. a is exactly b's data.
+func TestMulGradientProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := tensor.NewRNG(seed)
+		n := 1 + r.Intn(10)
+		av, bv := tensor.NewVec(n), tensor.NewVec(n)
+		r.FillNormal(av, 0, 2)
+		r.FillNormal(bv, 0, 2)
+		tp := NewTape()
+		a, b := tp.Input(av), tp.Input(bv)
+		tp.Backward(tp.Sum(tp.Mul(a, b)))
+		for i := range av {
+			if math.Abs(a.Grad[i]-bv[i]) > 1e-12 || math.Abs(b.Grad[i]-av[i]) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTapeStepsCount(t *testing.T) {
+	tp := NewTape()
+	in := tp.Input(tensor.Vec{1})
+	if tp.Steps() != 0 {
+		t.Fatal("Input should not record a backward step")
+	}
+	tp.Sigmoid(in)
+	tp.Tanh(in)
+	if tp.Steps() != 2 {
+		t.Fatalf("Steps = %d, want 2", tp.Steps())
+	}
+}
+
+func TestMeanOfNothingPanics(t *testing.T) {
+	tp := NewTape()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Mean of empty slice")
+		}
+	}()
+	tp.Mean(nil)
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	tp := NewTape()
+	a := tp.Input(tensor.Vec{1, 2})
+	b := tp.Input(tensor.Vec{1})
+	for name, f := range map[string]func(){
+		"Add":        func() { tp.Add(a, b) },
+		"Sub":        func() { tp.Sub(a, b) },
+		"Mul":        func() { tp.Mul(a, b) },
+		"AbsDiffSum": func() { tp.AbsDiffSum(a, b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected length-mismatch panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,167 @@
+package baselines
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/encode"
+	"github.com/lpce-db/lpce/internal/histogram"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
+	"github.com/lpce-db/lpce/internal/testutil"
+	"github.com/lpce-db/lpce/internal/treenn"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+var (
+	fixOnce    sync.Once
+	fixDB      *storage.Database
+	fixEnc     *encode.Encoder
+	fixSamples []core.Sample
+	fixLogMax  float64
+)
+
+func fixture(t *testing.T) (*storage.Database, *encode.Encoder, []core.Sample, float64) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixDB = testutil.TinyDB()
+		fixEnc = encode.NewEncoder(fixDB.Schema)
+		g := workload.NewGenerator(fixDB, 91)
+		queries := g.QueriesRange(40, 2, 4)
+		fixSamples, _ = core.CollectSamples(fixDB, histogram.NewEstimator(fixDB), queries, 50_000_000)
+		fixLogMax = core.MaxLogCard(fixSamples)
+	})
+	if len(fixSamples) < 20 {
+		t.Fatalf("only %d samples", len(fixSamples))
+	}
+	return fixDB, fixEnc, fixSamples, fixLogMax
+}
+
+func tinyCfg(seed int64) core.TrainConfig {
+	return core.TrainConfig{Hidden: 12, OutWidth: 16, Epochs: 4, Batch: 16, LR: 3e-3, Seed: seed}
+}
+
+func checkEstimates(t *testing.T, db *storage.Database, est interface {
+	Name() string
+	EstimateSubset(*query.Query, query.BitSet) float64
+}) {
+	t.Helper()
+	g := workload.NewGenerator(db, 92)
+	for i := 0; i < 5; i++ {
+		q := g.Query(2 + i%2)
+		for mask := query.BitSet(1); mask <= q.AllTablesMask(); mask++ {
+			if !q.Connected(mask) {
+				continue
+			}
+			v := est.EstimateSubset(q, mask)
+			if v < 1 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: invalid estimate %v", est.Name(), v)
+			}
+		}
+	}
+}
+
+func TestMSCNTrainAndEstimate(t *testing.T) {
+	db, _, samples, logMax := fixture(t)
+	m := TrainMSCN(MSCNConfig{Hidden: 16, Epochs: 2, Batch: 32, LR: 3e-3, Seed: 1}, db.Schema, samples, logMax)
+	if m.Name() != "mscn" {
+		t.Fatal("name")
+	}
+	if !m.EncodeSupportsSchema(db.Schema) {
+		t.Fatal("schema binding")
+	}
+	if m.NumWeights() == 0 {
+		t.Fatal("no weights")
+	}
+	checkEstimates(t, db, m)
+}
+
+func TestMSCNLearnsSomething(t *testing.T) {
+	db, _, samples, logMax := fixture(t)
+	untrained := NewMSCN(MSCNConfig{Hidden: 16, Seed: 2}.Defaults(), db.Schema)
+	untrained.LogMax = logMax
+	trained := TrainMSCN(MSCNConfig{Hidden: 16, Epochs: 4, Batch: 32, LR: 3e-3, Seed: 2}, db.Schema, samples, logMax)
+
+	meanQ := func(m *MSCN) float64 {
+		var s float64
+		n := 0
+		for _, smp := range samples {
+			est := m.EstimateSubset(smp.Query, smp.Query.AllTablesMask())
+			s += math.Log(qerr(smp.Plan.TrueCard, est))
+			n++
+		}
+		return s / float64(n)
+	}
+	if meanQ(trained) >= meanQ(untrained) {
+		t.Fatalf("MSCN training did not improve: %v -> %v", meanQ(untrained), meanQ(trained))
+	}
+}
+
+func qerr(a, b float64) float64 {
+	if a < 1 {
+		a = 1
+	}
+	if b < 1 {
+		b = 1
+	}
+	if a > b {
+		return a / b
+	}
+	return b / a
+}
+
+func TestTLSTMUsesLSTMAndQueryWiseLoss(t *testing.T) {
+	db, enc, samples, logMax := fixture(t)
+	est := TrainTLSTM(tinyCfg(3), enc, samples, logMax)
+	if est.Name() != "tlstm" {
+		t.Fatal("name")
+	}
+	if est.Model.Cfg.Cell != treenn.CellLSTM {
+		t.Fatal("TLSTM must use the LSTM cell")
+	}
+	checkEstimates(t, db, est)
+}
+
+func TestFlowLossTrains(t *testing.T) {
+	db, enc, samples, logMax := fixture(t)
+	est := TrainFlowLoss(tinyCfg(4), enc, samples, logMax)
+	if est.Name() != "flow-loss" {
+		t.Fatal("name")
+	}
+	checkEstimates(t, db, est)
+	mean, _ := core.EvalQError(est.Model, enc, samples)
+	if math.IsNaN(mean) || mean < 1 {
+		t.Fatalf("flow-loss mean q = %v", mean)
+	}
+}
+
+func TestCostWeightsNormalized(t *testing.T) {
+	_, _, samples, _ := fixture(t)
+	w := costWeights(samples[0].Plan)
+	var sum float64
+	for _, v := range w {
+		if v < 0 {
+			t.Fatal("negative weight")
+		}
+		sum += v
+	}
+	if math.Abs(sum-float64(len(w))) > 1e-6 {
+		t.Fatalf("weights sum to %v, want %d", sum, len(w))
+	}
+	// larger intermediate results must get larger weights
+	var maxCard, maxCardW, minCard, minCardW float64
+	minCard = math.Inf(1)
+	for n, v := range w {
+		if n.TrueCard > maxCard {
+			maxCard, maxCardW = n.TrueCard, v
+		}
+		if n.TrueCard < minCard {
+			minCard, minCardW = n.TrueCard, v
+		}
+	}
+	if maxCard > minCard && maxCardW < minCardW {
+		t.Fatal("cost weights should increase with cardinality")
+	}
+}

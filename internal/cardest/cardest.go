@@ -1,0 +1,84 @@
+// Package cardest defines the estimator interface shared by every
+// cardinality estimator in the repository — the histogram baseline, the
+// query-driven learned models (MSCN, TLSTM, Flow-Loss, LPCE-I), the
+// data-driven substitutes, and the LPCE-R refinement wrapper — plus the
+// timing instrumentation the end-to-end experiments use to attribute model
+// inference time (T_I in Eq. 7 of the paper).
+package cardest
+
+import (
+	"time"
+
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+// Estimator estimates the result cardinality of joining a subset of a
+// query's relations (with all applicable filter predicates pushed down).
+// The optimizer calls it once per connected subset during plan enumeration,
+// so a Join-eight query costs up to 2⁹−1 = 511 estimates.
+type Estimator interface {
+	Name() string
+	EstimateSubset(q *query.Query, mask query.BitSet) float64
+}
+
+// Timed wraps an estimator and accumulates the wall-clock time spent inside
+// it. The engine reads Time as the query's model inference time T_I.
+type Timed struct {
+	Inner Estimator
+	Time  time.Duration
+	Calls int
+}
+
+// NewTimed wraps inner.
+func NewTimed(inner Estimator) *Timed { return &Timed{Inner: inner} }
+
+// Name implements Estimator.
+func (t *Timed) Name() string { return t.Inner.Name() }
+
+// EstimateSubset implements Estimator, timing the inner call.
+func (t *Timed) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
+	start := time.Now()
+	v := t.Inner.EstimateSubset(q, mask)
+	t.Time += time.Since(start)
+	t.Calls++
+	return v
+}
+
+// Reset clears the accumulated time between queries.
+func (t *Timed) Reset() {
+	t.Time = 0
+	t.Calls = 0
+}
+
+// Fixed returns a constant for every subset; used in tests to force the
+// optimizer into known plans.
+type Fixed struct {
+	Value float64
+	Label string
+}
+
+// Name implements Estimator.
+func (f Fixed) Name() string {
+	if f.Label != "" {
+		return f.Label
+	}
+	return "fixed"
+}
+
+// EstimateSubset implements Estimator.
+func (f Fixed) EstimateSubset(*query.Query, query.BitSet) float64 { return f.Value }
+
+// FuncEstimator adapts a closure; used by tests and by the re-optimization
+// controller to overlay exact cardinalities of executed sub-plans.
+type FuncEstimator struct {
+	Label string
+	Fn    func(q *query.Query, mask query.BitSet) float64
+}
+
+// Name implements Estimator.
+func (f FuncEstimator) Name() string { return f.Label }
+
+// EstimateSubset implements Estimator.
+func (f FuncEstimator) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
+	return f.Fn(q, mask)
+}

@@ -1,0 +1,78 @@
+package cardest
+
+import (
+	"testing"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+func testQuery() *query.Query {
+	s := catalog.NewSchema()
+	a := s.AddTable("a", catalog.PK("id"))
+	b := s.AddTable("b", catalog.FK("a_id", a.Column("id")))
+	return query.New([]*catalog.Table{a, b},
+		[]query.Join{{Left: b.Column("a_id"), Right: a.Column("id")}}, nil)
+}
+
+func TestFixed(t *testing.T) {
+	f := Fixed{Value: 42}
+	if f.Name() != "fixed" {
+		t.Fatalf("name = %s", f.Name())
+	}
+	if got := f.EstimateSubset(testQuery(), 1); got != 42 {
+		t.Fatalf("estimate = %v", got)
+	}
+	if (Fixed{Value: 1, Label: "custom"}).Name() != "custom" {
+		t.Fatal("custom label ignored")
+	}
+}
+
+func TestFuncEstimator(t *testing.T) {
+	q := testQuery()
+	calls := 0
+	f := FuncEstimator{Label: "fn", Fn: func(qq *query.Query, m query.BitSet) float64 {
+		calls++
+		if qq != q {
+			t.Fatal("wrong query passed through")
+		}
+		return float64(m.Count()) * 10
+	}}
+	if f.Name() != "fn" {
+		t.Fatal("name")
+	}
+	if got := f.EstimateSubset(q, query.NewBitSet().Set(0).Set(1)); got != 20 {
+		t.Fatalf("estimate = %v", got)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestTimedAccumulates(t *testing.T) {
+	slow := FuncEstimator{Label: "slow", Fn: func(*query.Query, query.BitSet) float64 {
+		time.Sleep(time.Millisecond)
+		return 7
+	}}
+	timed := NewTimed(slow)
+	if timed.Name() != "slow" {
+		t.Fatal("name should pass through")
+	}
+	q := testQuery()
+	for i := 0; i < 3; i++ {
+		if got := timed.EstimateSubset(q, 1); got != 7 {
+			t.Fatalf("estimate = %v", got)
+		}
+	}
+	if timed.Calls != 3 {
+		t.Fatalf("calls = %d", timed.Calls)
+	}
+	if timed.Time < 3*time.Millisecond {
+		t.Fatalf("time = %v, want >= 3ms", timed.Time)
+	}
+	timed.Reset()
+	if timed.Calls != 0 || timed.Time != 0 {
+		t.Fatal("reset failed")
+	}
+}

@@ -1,0 +1,180 @@
+// Package catalog defines database schemas: tables, columns, and the
+// relational (join) graph between them. The catalog is shared by the
+// storage layer, the query/workload generators, the optimizer, and the
+// feature encoder (which needs stable global column and table IDs to build
+// the one-hot/two-hot vectors of paper §4.1).
+package catalog
+
+import "fmt"
+
+// ColumnKind describes how the data generator populates a column and how
+// the workload generator may filter on it.
+type ColumnKind int
+
+// Column kinds.
+const (
+	KindPrimaryKey ColumnKind = iota // dense 0..n-1 identifiers
+	KindForeignKey                   // references another table's primary key
+	KindAttribute                    // filterable data column
+)
+
+// Column is one attribute of a table.
+type Column struct {
+	GlobalID int // index into Schema.Columns, stable across the process
+	Table    *Table
+	Pos      int // position within the table
+	Name     string
+	Kind     ColumnKind
+	// Ref is the referenced column for foreign keys, nil otherwise.
+	Ref *Column
+	// Min, Max and NDV are filled by the storage layer after data load and
+	// used by the histogram estimator and the feature encoder's operand
+	// normalization.
+	Min, Max int64
+	NDV      int
+}
+
+// QualifiedName returns "table.column".
+func (c *Column) QualifiedName() string { return c.Table.Name + "." + c.Name }
+
+// Table is one relation.
+type Table struct {
+	ID      int // index into Schema.Tables
+	Name    string
+	Columns []*Column
+	byName  map[string]*Column
+}
+
+// Column returns the column with the given name, or nil.
+func (t *Table) Column(name string) *Column { return t.byName[name] }
+
+// JoinEdge is one edge of the relational graph: an equi-join between a
+// foreign key and the primary key it references (or between two foreign
+// keys referencing the same key, which the workload generator derives).
+type JoinEdge struct {
+	Left, Right *Column
+}
+
+// Schema is a full database schema.
+type Schema struct {
+	Tables  []*Table
+	Columns []*Column // all columns in GlobalID order
+	Edges   []JoinEdge
+	byName  map[string]*Table
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return &Schema{byName: make(map[string]*Table)} }
+
+// AddTable registers a new table with the given column specs.
+func (s *Schema) AddTable(name string, cols ...ColumnSpec) *Table {
+	if _, dup := s.byName[name]; dup {
+		panic(fmt.Sprintf("catalog: duplicate table %q", name))
+	}
+	t := &Table{ID: len(s.Tables), Name: name, byName: make(map[string]*Column)}
+	for i, cs := range cols {
+		c := &Column{
+			GlobalID: len(s.Columns),
+			Table:    t,
+			Pos:      i,
+			Name:     cs.Name,
+			Kind:     cs.Kind,
+			Ref:      cs.Ref,
+		}
+		t.Columns = append(t.Columns, c)
+		t.byName[cs.Name] = c
+		s.Columns = append(s.Columns, c)
+		if cs.Ref != nil {
+			s.Edges = append(s.Edges, JoinEdge{Left: c, Right: cs.Ref})
+		}
+	}
+	s.Tables = append(s.Tables, t)
+	s.byName[name] = t
+	return t
+}
+
+// Table returns the table with the given name, or nil.
+func (s *Schema) Table(name string) *Table { return s.byName[name] }
+
+// NumColumns returns the number of columns across all tables, i.e. |C| in
+// the paper's feature encoding.
+func (s *Schema) NumColumns() int { return len(s.Columns) }
+
+// ColumnSpec describes a column when building a schema.
+type ColumnSpec struct {
+	Name string
+	Kind ColumnKind
+	Ref  *Column // for foreign keys
+}
+
+// PK declares a primary-key column spec.
+func PK(name string) ColumnSpec { return ColumnSpec{Name: name, Kind: KindPrimaryKey} }
+
+// FK declares a foreign-key column spec referencing ref.
+func FK(name string, ref *Column) ColumnSpec {
+	if ref == nil {
+		panic("catalog: FK target is nil")
+	}
+	return ColumnSpec{Name: name, Kind: KindForeignKey, Ref: ref}
+}
+
+// Attr declares a plain attribute column spec.
+func Attr(name string) ColumnSpec { return ColumnSpec{Name: name, Kind: KindAttribute} }
+
+// JoinableTables returns, for each table ID, the set of table IDs reachable
+// by one join edge. The workload generator uses this adjacency to sample
+// connected join subgraphs.
+func (s *Schema) JoinableTables() [][]int {
+	adj := make([][]int, len(s.Tables))
+	seen := make([]map[int]bool, len(s.Tables))
+	for i := range seen {
+		seen[i] = make(map[int]bool)
+	}
+	add := func(a, b int) {
+		if a != b && !seen[a][b] {
+			seen[a][b] = true
+			adj[a] = append(adj[a], b)
+		}
+	}
+	for _, e := range s.Edges {
+		a, b := e.Left.Table.ID, e.Right.Table.ID
+		add(a, b)
+		add(b, a)
+	}
+	return adj
+}
+
+// EdgesBetween returns the join edges connecting tables a and b, in either
+// orientation.
+func (s *Schema) EdgesBetween(a, b *Table) []JoinEdge {
+	var out []JoinEdge
+	for _, e := range s.Edges {
+		if (e.Left.Table == a && e.Right.Table == b) || (e.Left.Table == b && e.Right.Table == a) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// DerivedEdges returns the implicit join edges between foreign keys that
+// reference the same primary key — e.g. movie_companies.movie_id =
+// movie_info.movie_id, both referencing title.id. The Join Order Benchmark
+// uses such fact-to-fact joins heavily; workload generators can opt in to
+// them for denser join graphs.
+func (s *Schema) DerivedEdges() []JoinEdge {
+	var fks []*Column
+	for _, c := range s.Columns {
+		if c.Kind == KindForeignKey && c.Ref != nil {
+			fks = append(fks, c)
+		}
+	}
+	var out []JoinEdge
+	for i, a := range fks {
+		for _, b := range fks[i+1:] {
+			if a.Ref == b.Ref && a.Table != b.Table {
+				out = append(out, JoinEdge{Left: a, Right: b})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,97 @@
+package catalog
+
+import "testing"
+
+func buildTestSchema() *Schema {
+	s := NewSchema()
+	dim := s.AddTable("dim", PK("id"), Attr("x"))
+	s.AddTable("fact",
+		FK("dim_id", dim.Column("id")),
+		Attr("v"),
+	)
+	return s
+}
+
+func TestAddTableAndLookup(t *testing.T) {
+	s := buildTestSchema()
+	if s.Table("dim") == nil || s.Table("fact") == nil {
+		t.Fatal("table lookup failed")
+	}
+	if s.Table("nope") != nil {
+		t.Fatal("lookup of missing table should be nil")
+	}
+	if got := s.NumColumns(); got != 4 {
+		t.Fatalf("NumColumns = %d, want 4", got)
+	}
+}
+
+func TestGlobalIDsAreStableAndDense(t *testing.T) {
+	s := buildTestSchema()
+	for i, c := range s.Columns {
+		if c.GlobalID != i {
+			t.Fatalf("column %s has GlobalID %d at position %d", c.Name, c.GlobalID, i)
+		}
+	}
+}
+
+func TestColumnQualifiedName(t *testing.T) {
+	s := buildTestSchema()
+	c := s.Table("fact").Column("dim_id")
+	if c.QualifiedName() != "fact.dim_id" {
+		t.Fatalf("QualifiedName = %s", c.QualifiedName())
+	}
+}
+
+func TestForeignKeyEdge(t *testing.T) {
+	s := buildTestSchema()
+	if len(s.Edges) != 1 {
+		t.Fatalf("edges = %d, want 1", len(s.Edges))
+	}
+	e := s.Edges[0]
+	if e.Left.QualifiedName() != "fact.dim_id" || e.Right.QualifiedName() != "dim.id" {
+		t.Fatalf("edge = %v -> %v", e.Left.QualifiedName(), e.Right.QualifiedName())
+	}
+}
+
+func TestJoinableTablesAdjacency(t *testing.T) {
+	s := buildTestSchema()
+	adj := s.JoinableTables()
+	dimID := s.Table("dim").ID
+	factID := s.Table("fact").ID
+	if len(adj[dimID]) != 1 || adj[dimID][0] != factID {
+		t.Fatalf("dim adjacency = %v", adj[dimID])
+	}
+	if len(adj[factID]) != 1 || adj[factID][0] != dimID {
+		t.Fatalf("fact adjacency = %v", adj[factID])
+	}
+}
+
+func TestEdgesBetween(t *testing.T) {
+	s := buildTestSchema()
+	dim, fact := s.Table("dim"), s.Table("fact")
+	if got := s.EdgesBetween(dim, fact); len(got) != 1 {
+		t.Fatalf("EdgesBetween = %d edges", len(got))
+	}
+	if got := s.EdgesBetween(dim, dim); len(got) != 0 {
+		t.Fatalf("self edges = %d", len(got))
+	}
+}
+
+func TestDuplicateTablePanics(t *testing.T) {
+	s := buildTestSchema()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate table")
+		}
+	}()
+	s.AddTable("dim", PK("id"))
+}
+
+func TestFKNilTargetPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on nil FK target")
+		}
+	}()
+	FK("bad", nil)
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/encode"
+	"github.com/lpce-db/lpce/internal/histogram"
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
+	"github.com/lpce-db/lpce/internal/testutil"
+	"github.com/lpce-db/lpce/internal/treenn"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+// Shared fixture: a small sample set collected once per test binary.
+var (
+	fixOnce    sync.Once
+	fixDB      *storage.Database
+	fixEnc     *encode.Encoder
+	fixSamples []Sample
+	fixLogMax  float64
+)
+
+func fixture(t *testing.T) (*storage.Database, *encode.Encoder, []Sample, float64) {
+	t.Helper()
+	fixOnce.Do(func() {
+		fixDB = testutil.TinyDB()
+		fixEnc = encode.NewEncoder(fixDB.Schema)
+		g := workload.NewGenerator(fixDB, 81)
+		queries := g.QueriesRange(60, 2, 5)
+		est := histogram.NewEstimator(fixDB)
+		fixSamples, _ = CollectSamples(fixDB, est, queries, 50_000_000)
+		fixLogMax = MaxLogCard(fixSamples)
+	})
+	if len(fixSamples) < 30 {
+		t.Fatalf("fixture collected only %d samples", len(fixSamples))
+	}
+	return fixDB, fixEnc, fixSamples, fixLogMax
+}
+
+func tinyCfg(seed int64) TrainConfig {
+	return TrainConfig{Hidden: 16, OutWidth: 16, Epochs: 6, Batch: 16, LR: 3e-3, NodeWise: true, Seed: seed}
+}
+
+func TestCollectSamplesStampsTrueCards(t *testing.T) {
+	_, _, samples, _ := fixture(t)
+	for _, s := range samples[:10] {
+		s.Plan.Walk(func(n *plan.Node) {
+			if n.TrueCard < 0 {
+				t.Fatalf("node %v missing true cardinality", n.Op)
+			}
+		})
+	}
+}
+
+func TestCollectSamplesSkipsOverBudget(t *testing.T) {
+	db := testutil.TinyDB()
+	g := workload.NewGenerator(db, 82)
+	queries := g.Queries(5, 3)
+	est := histogram.NewEstimator(db)
+	_, stats := CollectSamples(db, est, queries, 10) // absurdly small budget
+	if stats.Skipped != 5 || stats.Collected != 0 {
+		t.Fatalf("stats = %+v, want all skipped", stats)
+	}
+}
+
+func TestMaxLogCard(t *testing.T) {
+	_, _, samples, logMax := fixture(t)
+	var maxCard float64
+	for _, s := range samples {
+		s.Plan.Walk(func(n *plan.Node) {
+			if n.TrueCard > maxCard {
+				maxCard = n.TrueCard
+			}
+		})
+	}
+	if math.Abs(logMax-math.Log(maxCard)) > 1e-9 {
+		t.Fatalf("MaxLogCard = %v, want %v", logMax, math.Log(maxCard))
+	}
+}
+
+func TestSplitTrainValidation(t *testing.T) {
+	_, _, samples, _ := fixture(t)
+	train, val := SplitTrainValidation(samples, 0.1)
+	if len(train)+len(val) != len(samples) {
+		t.Fatal("split loses samples")
+	}
+	if len(val) != len(samples)/10 {
+		t.Fatalf("val size = %d", len(val))
+	}
+	// degenerate fractions
+	tr2, v2 := SplitTrainValidation(samples[:1], 0.9)
+	if len(tr2) != 1 || len(v2) != 0 {
+		t.Fatal("single-sample split should keep the sample in train")
+	}
+}
+
+func TestTrainingImprovesOverUntrained(t *testing.T) {
+	_, enc, samples, logMax := fixture(t)
+	train, val := SplitTrainValidation(samples, 0.2)
+
+	untrained := treenn.NewTreeModel(treenn.Config{
+		InputDim: enc.Dim(), Hidden: 16, OutWidth: 16, Cell: treenn.CellSRU, Seed: 9,
+	})
+	untrained.LogMax = logMax
+	meanBefore, _ := EvalQError(untrained, enc, val)
+
+	m := TrainTreeModel(tinyCfg(10), enc, train, logMax, nil)
+	meanAfter, all := EvalQError(m, enc, val)
+	if len(all) != len(val) {
+		t.Fatal("EvalQError lost samples")
+	}
+	if meanAfter >= meanBefore {
+		t.Fatalf("training did not improve q-error: %v -> %v", meanBefore, meanAfter)
+	}
+	for _, q := range all {
+		if q < 1 || math.IsNaN(q) || math.IsInf(q, 0) {
+			t.Fatalf("invalid q-error %v", q)
+		}
+	}
+}
+
+func TestQueryWiseLossAlsoTrains(t *testing.T) {
+	_, enc, samples, logMax := fixture(t)
+	cfg := tinyCfg(11)
+	cfg.NodeWise = false
+	m := TrainTreeModel(cfg, enc, samples, logMax, nil)
+	mean, _ := EvalQError(m, enc, samples)
+	if math.IsNaN(mean) || mean < 1 {
+		t.Fatalf("query-wise training produced invalid mean q %v", mean)
+	}
+}
+
+func TestDistillCompressesModel(t *testing.T) {
+	_, enc, samples, logMax := fixture(t)
+	cfg := LPCEIConfig{
+		Teacher: TrainConfig{Hidden: 32, OutWidth: 64, Epochs: 4, Batch: 16, LR: 3e-3, NodeWise: true, Seed: 12},
+		Student: TrainConfig{Hidden: 8, OutWidth: 8, Epochs: 3, Batch: 16, LR: 3e-3, NodeWise: true, Seed: 12},
+	}
+	lp := TrainLPCEI(cfg, enc, samples, logMax)
+	if lp.Model.NumWeights()*5 > lp.Teacher.NumWeights() {
+		t.Fatalf("student %d weights vs teacher %d: compression below 5x",
+			lp.Model.NumWeights(), lp.Teacher.NumWeights())
+	}
+	mean, _ := EvalQError(lp.Model, enc, samples)
+	if math.IsNaN(mean) || mean < 1 {
+		t.Fatalf("distilled model invalid (mean q = %v)", mean)
+	}
+	if lp.Model.LogMax != lp.Teacher.LogMax {
+		t.Fatal("student must inherit the teacher's normalization")
+	}
+}
+
+func TestTreeEstimatorInterface(t *testing.T) {
+	db, enc, samples, logMax := fixture(t)
+	m := TrainTreeModel(tinyCfg(13), enc, samples, logMax, nil)
+	est := &TreeEstimator{Label: "lpce-i", Model: m, Enc: enc}
+	if est.Name() != "lpce-i" {
+		t.Fatal("name")
+	}
+	g := workload.NewGenerator(db, 83)
+	q := g.Query(3)
+	for mask := query.BitSet(1); mask <= q.AllTablesMask(); mask++ {
+		if !q.Connected(mask) {
+			continue
+		}
+		v := est.EstimateSubset(q, mask)
+		if v < 1 || math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("estimate %v invalid for mask %b", v, uint32(mask))
+		}
+	}
+}
+
+func TestPrefixSubtreesInvariants(t *testing.T) {
+	_, _, samples, _ := fixture(t)
+	s := samples[0]
+	m := s.Plan.NumNodes()
+	nodes := s.Plan.Nodes()
+	for k := 1; k < m; k++ {
+		execRoots, remaining := PrefixSubtrees(s.Plan, k)
+		// executed subtrees cover exactly the first k post-order nodes
+		covered := map[*plan.Node]bool{}
+		for _, r := range execRoots {
+			r.Walk(func(n *plan.Node) {
+				if covered[n] {
+					t.Fatal("executed subtrees overlap")
+				}
+				covered[n] = true
+			})
+		}
+		if len(covered) != k {
+			t.Fatalf("k=%d: executed cover %d nodes", k, len(covered))
+		}
+		for i, n := range nodes {
+			if (i < k) != covered[n] {
+				t.Fatalf("k=%d: node %d coverage mismatch", k, i)
+			}
+		}
+		if len(remaining)+len(covered) != m {
+			t.Fatalf("k=%d: remaining %d + covered %d != %d", k, len(remaining), len(covered), m)
+		}
+	}
+}
+
+func TestRefinerFullTrainAndEval(t *testing.T) {
+	db, enc, samples, logMax := fixture(t)
+	cfg := RefinerConfig{Kind: RefinerFull, Base: tinyCfg(14), AdjustEpochs: 3, PrefixesPerSample: 2}
+	r := TrainRefiner(cfg, enc, db, samples, logMax)
+	if r.Content == nil || r.CardM == nil || r.Refine == nil || r.Connect == nil {
+		t.Fatal("full refiner missing modules")
+	}
+	s := samples[1]
+	m := s.Plan.NumNodes()
+	for _, k := range []int{1, m / 2, m - 1} {
+		qs := r.EvalPrefix(s, k)
+		for _, q := range qs {
+			if q < 1 || math.IsNaN(q) || math.IsInf(q, 0) {
+				t.Fatalf("invalid refined q-error %v at k=%d", q, k)
+			}
+		}
+	}
+}
+
+func TestRefinerVariants(t *testing.T) {
+	db, enc, samples, logMax := fixture(t)
+	for _, kind := range []RefinerKind{RefinerSingle, RefinerTwo} {
+		cfg := RefinerConfig{Kind: kind, Base: tinyCfg(15), AdjustEpochs: 2, PrefixesPerSample: 2}
+		r := TrainRefiner(cfg, enc, db, samples, logMax)
+		if kind == RefinerSingle && (r.Refine != nil || r.Content != nil) {
+			t.Fatal("single variant should only have the cardinality module")
+		}
+		if kind == RefinerTwo && (r.Content != nil || r.Connect != nil) {
+			t.Fatal("two-module variant should not have content/connect")
+		}
+		qs := r.EvalPrefix(samples[2], 2)
+		if len(qs) == 0 {
+			t.Fatalf("%v produced no refined estimates", kind)
+		}
+	}
+}
+
+func TestRefinedEstimatorExactForExecuted(t *testing.T) {
+	db, enc, samples, logMax := fixture(t)
+	cfg := RefinerConfig{Kind: RefinerFull, Base: tinyCfg(16), AdjustEpochs: 2, PrefixesPerSample: 2}
+	r := TrainRefiner(cfg, enc, db, samples, logMax)
+	s := samples[3]
+	execRoots, _ := PrefixSubtrees(s.Plan, s.Plan.NumNodes()/2)
+	var execs []ExecutedSub
+	for _, n := range execRoots {
+		execs = append(execs, ExecutedSub{Node: n, Card: n.TrueCard})
+	}
+	est := r.Estimator(s.Query, execs)
+	for _, e := range execs {
+		if got := est.EstimateSubset(s.Query, e.Mask()); got != e.Card {
+			t.Fatalf("executed subset should be exact: got %v want %v", got, e.Card)
+		}
+	}
+	// full-query estimate should be finite and >= 1
+	v := est.EstimateSubset(s.Query, s.Query.AllTablesMask())
+	if v < 1 || math.IsNaN(v) || math.IsInf(v, 0) {
+		t.Fatalf("refined full estimate %v invalid", v)
+	}
+	if est.Name() != "lpce-r" {
+		t.Fatalf("name = %s", est.Name())
+	}
+}
+
+func TestSingleCardsUsesRealForExecuted(t *testing.T) {
+	db, enc, samples, logMax := fixture(t)
+	cfg := RefinerConfig{Kind: RefinerSingle, Base: tinyCfg(17)}
+	r := TrainRefiner(cfg, enc, db, samples, logMax)
+	s := samples[4]
+	execRoots, _ := PrefixSubtrees(s.Plan, 3)
+	executed := markExecuted(execRoots)
+	cards := r.singleCards(s.Plan, executed)
+	for n, isExec := range executed {
+		if isExec && cards[n] != n.TrueCard {
+			t.Fatalf("executed node card = %v, want real %v", cards[n], n.TrueCard)
+		}
+	}
+}
+
+func TestBuildUnitPlanCoversMask(t *testing.T) {
+	db, _, samples, _ := fixture(t)
+	_ = db
+	s := samples[5]
+	q := s.Query
+	execRoots, _ := PrefixSubtrees(s.Plan, s.Plan.NumNodes()/2)
+	var units []ExecutedSub
+	var covered query.BitSet
+	for _, n := range execRoots {
+		units = append(units, ExecutedSub{Node: n, Card: n.TrueCard})
+		covered = covered.Union(n.Tables)
+	}
+	full := q.AllTablesMask()
+	root := buildUnitPlan(q, full, covered, units)
+	if root.Tables != full {
+		t.Fatalf("unit plan covers %b, want %b", uint32(root.Tables), uint32(full))
+	}
+}
+
+func TestCardFeatureShapes(t *testing.T) {
+	db, enc, samples, logMax := fixture(t)
+	feat := CardFeature(enc, logMax, db)
+	s := samples[6]
+	s.Plan.Walk(func(n *plan.Node) {
+		v := feat(n)
+		if len(v) != enc.DimWithCards() {
+			t.Fatalf("card feature dim = %d, want %d", len(v), enc.DimWithCards())
+		}
+		for _, x := range v[len(v)-2:] {
+			if x < 0 || x > 1 || math.IsNaN(x) {
+				t.Fatalf("card slot %v out of range", x)
+			}
+		}
+	})
+}
+
+func TestCloneModelIndependence(t *testing.T) {
+	_, enc, samples, logMax := fixture(t)
+	m := TrainTreeModel(tinyCfg(18), enc, samples[:10], logMax, nil)
+	cp := cloneModel(m)
+	if cp.NumWeights() != m.NumWeights() {
+		t.Fatal("clone changed size")
+	}
+	cp.Params.All()[0].Val[0] += 1
+	if m.Params.All()[0].Val[0] == cp.Params.All()[0].Val[0] {
+		t.Fatal("clone aliases parameters")
+	}
+}

@@ -1,0 +1,488 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/lpce-db/lpce/internal/autodiff"
+	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/encode"
+	"github.com/lpce-db/lpce/internal/nn"
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
+	"github.com/lpce-db/lpce/internal/tensor"
+	"github.com/lpce-db/lpce/internal/treenn"
+)
+
+// RefinerKind selects the LPCE-R architecture: the paper's full three-module
+// design or the two ablations of Table 3.
+type RefinerKind int
+
+// Refiner variants.
+const (
+	// RefinerFull is LPCE-R: content + cardinality modules merged by a
+	// learned connect layer feeding the refine module.
+	RefinerFull RefinerKind = iota
+	// RefinerSingle is LPCE-R-Single: one cardinality-augmented module;
+	// executed operators use real cardinalities, remaining operators use
+	// the model's own estimates.
+	RefinerSingle
+	// RefinerTwo is LPCE-R-Two: cardinality module + refine module, no
+	// content module and no connect layer.
+	RefinerTwo
+)
+
+func (k RefinerKind) String() string {
+	switch k {
+	case RefinerSingle:
+		return "lpce-r-single"
+	case RefinerTwo:
+		return "lpce-r-two"
+	default:
+		return "lpce-r"
+	}
+}
+
+// ConnectLayer merges the content embedding c_A and the cardinality
+// embedding c_B of an executed sub-plan (paper Eq. 6):
+//
+//	w_A = σ(W_A·c_A + b_A),  w_B = σ(W_B·c_B + b_B)
+//	c_AB = ReLU(W_AB(w_A ⊙ c_A + w_B ⊙ c_B) + b_AB)
+type ConnectLayer struct {
+	Params       *nn.Params
+	wa, wb, wout *nn.Linear
+}
+
+// NewConnectLayer builds a connect layer over hidden-width embeddings.
+func NewConnectLayer(hidden int, seed int64) *ConnectLayer {
+	ps := nn.NewParams()
+	rng := tensor.NewRNG(seed)
+	return &ConnectLayer{
+		Params: ps,
+		wa:     nn.NewLinear(ps, "connect.wa", hidden, hidden, rng),
+		wb:     nn.NewLinear(ps, "connect.wb", hidden, hidden, rng),
+		wout:   nn.NewLinear(ps, "connect.wout", hidden, hidden, rng),
+	}
+}
+
+// Apply merges the two embeddings on the tape.
+func (c *ConnectLayer) Apply(t *autodiff.Tape, cA, cB *autodiff.Node) *autodiff.Node {
+	wA := t.Sigmoid(c.wa.Apply(t, cA))
+	wB := t.Sigmoid(c.wb.Apply(t, cB))
+	mix := t.Add(t.Mul(wA, cA), t.Mul(wB, cB))
+	return t.ReLU(c.wout.Apply(t, mix))
+}
+
+// RefinerConfig controls LPCE-R training.
+type RefinerConfig struct {
+	Kind RefinerKind
+	// Base configures each module's architecture and pre-training.
+	Base TrainConfig
+	// AdjustEpochs is the fine-tuning budget for the refine module.
+	AdjustEpochs int
+	// PrefixesPerSample bounds the executed-prefix positions drawn per plan
+	// per epoch during adjustment (a plan with m operators provides m−1
+	// potential samples; using all of them is wasteful).
+	PrefixesPerSample int
+}
+
+// Defaults fills zero fields.
+func (c RefinerConfig) Defaults() RefinerConfig {
+	c.Base = c.Base.Defaults()
+	if c.AdjustEpochs == 0 {
+		c.AdjustEpochs = c.Base.Epochs
+	}
+	if c.PrefixesPerSample == 0 {
+		c.PrefixesPerSample = 3
+	}
+	return c
+}
+
+// Refiner is the trained LPCE-R model (or one of its ablation variants).
+type Refiner struct {
+	Kind    RefinerKind
+	Enc     *encode.Encoder
+	DB      *storage.Database
+	LogMax  float64
+	Content *treenn.TreeModel // nil for Single and Two
+	CardM   *treenn.TreeModel // cardinality-augmented module
+	Refine  *treenn.TreeModel // nil for Single
+	Connect *ConnectLayer     // nil unless Full
+}
+
+// TrainRefiner runs the two-stage training of §5.2: pre-train the content
+// and cardinality modules (refine starts as a copy of content), then freeze
+// them and fine-tune the refine module (plus the connect layer) on executed
+// prefixes.
+func TrainRefiner(cfg RefinerConfig, enc *encode.Encoder, db *storage.Database, samples []Sample, logMax float64) *Refiner {
+	cfg = cfg.Defaults()
+	r := &Refiner{Kind: cfg.Kind, Enc: enc, DB: db, LogMax: logMax}
+
+	cardFeat := CardFeature(enc, logMax, db)
+	r.CardM = TrainTreeModelWithDim(cfg.Base, enc.DimWithCards(), samples, logMax, cardFeat)
+
+	if cfg.Kind == RefinerSingle {
+		return r
+	}
+
+	if cfg.Kind == RefinerFull {
+		r.Content = TrainTreeModel(cfg.Base, enc, samples, logMax, nil)
+		r.Refine = cloneModel(r.Content)
+		r.Connect = NewConnectLayer(cfg.Base.Hidden, cfg.Base.Seed+41)
+	} else { // RefinerTwo
+		pre := TrainTreeModel(cfg.Base, enc, samples, logMax, nil)
+		r.Refine = pre
+	}
+
+	r.adjust(cfg, samples)
+	return r
+}
+
+// cloneModel builds a new model with identical architecture and parameter
+// values ("refine module shares the same parameters as content module").
+func cloneModel(m *treenn.TreeModel) *treenn.TreeModel {
+	cp := treenn.NewTreeModel(m.Cfg)
+	cp.LogMax = m.LogMax
+	src := m.Params.All()
+	dst := cp.Params.All()
+	for i := range src {
+		copy(dst[i].Val, src[i].Val)
+	}
+	return cp
+}
+
+// adjust is stage 2: content and cardinality modules are frozen (their
+// embeddings enter the tape as constants) and the refine module — plus the
+// connect layer for the full design — is fine-tuned to predict the
+// cardinalities of the remaining operators for random executed prefixes.
+func (r *Refiner) adjust(cfg RefinerConfig, samples []Sample) {
+	if len(samples) == 0 {
+		return
+	}
+	optRefine := nn.NewAdam(cfg.Base.LR)
+	var optConnect *nn.Adam
+	if r.Connect != nil {
+		optConnect = nn.NewAdam(cfg.Base.LR)
+	}
+	rng := rand.New(rand.NewSource(cfg.Base.Seed + 53))
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	plainFeat := func(n *plan.Node) tensor.Vec { return r.Enc.EncodeNode(n) }
+
+	for epoch := 0; epoch < cfg.AdjustEpochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for b := 0; b < len(order); b += cfg.Base.Batch {
+			end := b + cfg.Base.Batch
+			if end > len(order) {
+				end = len(order)
+			}
+			r.Refine.Params.ZeroGrad()
+			if r.Connect != nil {
+				r.Connect.Params.ZeroGrad()
+			}
+			inv := 1 / float64(end-b)
+			for _, si := range order[b:end] {
+				s := samples[si]
+				m := s.Plan.NumNodes()
+				if m < 2 {
+					continue
+				}
+				for p := 0; p < cfg.PrefixesPerSample; p++ {
+					k := 1 + rng.Intn(m-1)
+					execRoots, remaining := PrefixSubtrees(s.Plan, k)
+					if len(execRoots) == 0 || len(remaining) == 0 {
+						continue
+					}
+					t := autodiff.NewTape()
+					childC := r.executedOverrides(t, execRoots)
+					outs := r.Refine.Forward(t, s.Plan, plainFeat, childC)
+					w := inv / float64(cfg.PrefixesPerSample)
+					for _, n := range remaining {
+						out, ok := outs[n]
+						if !ok || n.TrueCard < 0 {
+							continue
+						}
+						loss := nn.QErrorLoss(t, out.Pred, n.TrueCard, r.LogMax)
+						loss.Grad[0] = w
+					}
+					t.BackwardFrom()
+				}
+			}
+			r.Refine.Params.ClipGrad(cfg.Base.ClipNorm)
+			optRefine.Step(r.Refine.Params)
+			if r.Connect != nil {
+				r.Connect.Params.ClipGrad(cfg.Base.ClipNorm)
+				optConnect.Step(r.Connect.Params)
+			}
+		}
+	}
+}
+
+// executedOverrides computes, for each executed subtree root, the embedding
+// the refine module sees in place of that child: the connect-layer merge of
+// the content and cardinality embeddings (full design) or the cardinality
+// embedding alone (two-module ablation). The module embeddings are detached
+// so no gradient reaches the frozen modules.
+func (r *Refiner) executedOverrides(t *autodiff.Tape, execRoots []*plan.Node) map[*plan.Node]*autodiff.Node {
+	childC := make(map[*plan.Node]*autodiff.Node, len(execRoots))
+	for _, sub := range execRoots {
+		cB := r.moduleEmbedding(r.CardM, sub, CardFeature(r.Enc, r.LogMax, r.DB))
+		if r.Kind == RefinerFull {
+			cA := r.moduleEmbedding(r.Content, sub, func(n *plan.Node) tensor.Vec { return r.Enc.EncodeNode(n) })
+			childC[sub] = r.Connect.Apply(t, t.Const(cA), t.Const(cB))
+		} else {
+			childC[sub] = t.Const(cB)
+		}
+	}
+	return childC
+}
+
+// moduleEmbedding runs a frozen module over an executed subtree on a
+// throwaway tape and returns the detached root encoding.
+func (r *Refiner) moduleEmbedding(m *treenn.TreeModel, sub *plan.Node, feat treenn.FeatureFn) tensor.Vec {
+	t := autodiff.NewTape()
+	outs := m.Forward(t, sub, feat, nil)
+	return outs[sub].C.Data.Clone()
+}
+
+// PrefixSubtrees partitions a plan after its first k post-order operators
+// have completed: it returns the maximal fully-executed subtrees (whose
+// embeddings summarize the finished work) and the remaining operators
+// (whose cardinalities LPCE-R re-estimates). Post-order matches the
+// bottom-up completion order of the executor.
+func PrefixSubtrees(root *plan.Node, k int) (execRoots, remaining []*plan.Node) {
+	idx := make(map[*plan.Node]int)
+	for i, n := range root.Nodes() {
+		idx[n] = i
+	}
+	complete := func(n *plan.Node) bool { return idx[n] < k }
+	var walk func(n *plan.Node)
+	walk = func(n *plan.Node) {
+		if n == nil {
+			return
+		}
+		if complete(n) {
+			execRoots = append(execRoots, n) // maximal: parent not complete
+			return
+		}
+		remaining = append(remaining, n)
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(root)
+	return execRoots, remaining
+}
+
+// EvalPrefix simulates re-estimation after k executed operators on a
+// collected sample and returns the q-errors of the remaining operators'
+// refined estimates — the measurement behind Figure 16 and Table 3.
+func (r *Refiner) EvalPrefix(s Sample, k int) []float64 {
+	execRoots, remaining := PrefixSubtrees(s.Plan, k)
+	if len(remaining) == 0 {
+		return nil
+	}
+	var qs []float64
+	switch r.Kind {
+	case RefinerSingle:
+		executed := markExecuted(execRoots)
+		cards := r.singleCards(s.Plan, executed)
+		for _, n := range remaining {
+			if n.TrueCard >= 0 {
+				qs = append(qs, nn.QError(n.TrueCard, cards[n]))
+			}
+		}
+	default:
+		t := autodiff.NewTape()
+		childC := r.executedOverrides(t, execRoots)
+		outs := r.Refine.Forward(t, s.Plan, func(n *plan.Node) tensor.Vec { return r.Enc.EncodeNode(n) }, childC)
+		for _, n := range remaining {
+			out, ok := outs[n]
+			if !ok || n.TrueCard < 0 {
+				continue
+			}
+			qs = append(qs, nn.QError(n.TrueCard, out.Card(r.LogMax)))
+		}
+	}
+	return qs
+}
+
+// markExecuted flags every node inside the executed subtrees.
+func markExecuted(execRoots []*plan.Node) map[*plan.Node]bool {
+	m := make(map[*plan.Node]bool)
+	for _, sub := range execRoots {
+		sub.Walk(func(n *plan.Node) { m[n] = true })
+	}
+	return m
+}
+
+// singleCards is the LPCE-R-Single inference pass: one cardinality-
+// augmented module processes the whole plan bottom-up; executed children
+// contribute their real cardinalities while remaining children contribute
+// the model's own running estimates — the train/inference mismatch the
+// paper blames for LPCE-R-Single's poor accuracy.
+func (r *Refiner) singleCards(root *plan.Node, executed map[*plan.Node]bool) map[*plan.Node]float64 {
+	t := autodiff.NewTape()
+	cards := make(map[*plan.Node]float64)
+	hidden := r.CardM.Cfg.Hidden
+	var rec func(n *plan.Node) *autodiff.Node
+	rec = func(n *plan.Node) *autodiff.Node {
+		zero := t.NewNode(hidden)
+		cl, cr := zero, zero
+		var cardL, cardR float64
+		switch {
+		case n.Left != nil:
+			cl = rec(n.Left)
+			cardL = childCard(n.Left, executed, cards)
+			if n.Right != nil {
+				cr = rec(n.Right)
+				cardR = childCard(n.Right, executed, cards)
+			}
+		case n.Table != nil:
+			cardL = float64(r.DB.Table(n.Table).NumRows())
+		case n.Mat != nil:
+			cardL = float64(n.Mat.Card())
+		}
+		fv := r.Enc.WithCards(r.Enc.EncodeNode(n), cardL, cardR, r.LogMax)
+		x := r.CardM.Embed.Apply(t, t.Input(fv))
+		c, h := r.CardM.Cell.Apply(t, x, cl, cr)
+		_, pred := r.CardM.Out.ApplyPreOutput(t, h)
+		card := nn.DenormalizeCard(pred.Scalar(), r.LogMax)
+		if executed[n] && n.TrueCard >= 0 {
+			card = n.TrueCard
+		}
+		cards[n] = card
+		return c
+	}
+	rec(root)
+	return cards
+}
+
+func childCard(n *plan.Node, executed map[*plan.Node]bool, cards map[*plan.Node]float64) float64 {
+	if executed[n] && n.TrueCard >= 0 {
+		return n.TrueCard
+	}
+	return cards[n]
+}
+
+// ExecutedSub describes one executed sub-plan handed to the refinement
+// estimator at re-optimization time: the subtree (with true cardinalities
+// stamped by the executor) and its exact output cardinality.
+type ExecutedSub struct {
+	Node *plan.Node
+	Card float64
+}
+
+// Mask returns the table subset the executed sub-plan covers.
+func (e ExecutedSub) Mask() query.BitSet { return e.Node.Tables }
+
+// Estimator returns a cardest.Estimator that refines subset estimates using
+// the executed sub-plans: subsets exactly matching an executed sub-plan get
+// its exact cardinality; other subsets are estimated by the refine module
+// over a unit tree in which executed sub-plans appear as pre-embedded
+// leaves.
+func (r *Refiner) Estimator(q *query.Query, execs []ExecutedSub) cardest.Estimator {
+	// keep maximal, disjoint executed subtrees, largest first
+	sort.Slice(execs, func(i, j int) bool { return execs[i].Mask().Count() > execs[j].Mask().Count() })
+	var kept []ExecutedSub
+	var covered query.BitSet
+	for _, e := range execs {
+		if e.Mask().Intersects(covered) {
+			continue
+		}
+		kept = append(kept, e)
+		covered = covered.Union(e.Mask())
+	}
+	return &refinedEstimator{r: r, q: q, execs: kept}
+}
+
+type refinedEstimator struct {
+	r     *Refiner
+	q     *query.Query
+	execs []ExecutedSub
+}
+
+func (e *refinedEstimator) Name() string { return e.r.Kind.String() }
+
+func (e *refinedEstimator) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
+	// exact answers for executed subsets
+	for _, ex := range e.execs {
+		if ex.Mask() == mask {
+			return ex.Card
+		}
+	}
+	// build the unit tree: executed sub-plans fully inside the mask become
+	// leaves, remaining tables become scan leaves
+	var units []ExecutedSub
+	var covered query.BitSet
+	for _, ex := range e.execs {
+		if ex.Mask()&mask == ex.Mask() {
+			units = append(units, ex)
+			covered = covered.Union(ex.Mask())
+		}
+	}
+	root := buildUnitPlan(q, mask, covered, units)
+	switch e.r.Kind {
+	case RefinerSingle:
+		executed := markExecuted(execNodes(units))
+		cards := e.r.singleCards(root, executed)
+		return cards[root]
+	default:
+		t := autodiff.NewTape()
+		childC := e.r.executedOverrides(t, execNodes(units))
+		outs := e.r.Refine.Forward(t, root, func(n *plan.Node) tensor.Vec { return e.r.Enc.EncodeNode(n) }, childC)
+		return outs[root].Card(e.r.LogMax)
+	}
+}
+
+func execNodes(units []ExecutedSub) []*plan.Node {
+	out := make([]*plan.Node, len(units))
+	for i, u := range units {
+		out[i] = u.Node
+	}
+	return out
+}
+
+// buildUnitPlan constructs a canonical left-deep tree over heterogeneous
+// units: executed sub-plans (kept as their original subtrees) and
+// single-table scans for the uncovered part of the mask.
+func buildUnitPlan(q *query.Query, mask, covered query.BitSet, units []ExecutedSub) *plan.Node {
+	type unit struct {
+		mask query.BitSet
+		node *plan.Node
+	}
+	var us []unit
+	for _, e := range units {
+		us = append(us, unit{e.Mask(), e.Node})
+	}
+	for _, i := range mask.Indices() {
+		if covered.Has(i) {
+			continue
+		}
+		t := q.Tables[i]
+		us = append(us, unit{query.NewBitSet().Set(i), plan.NewLeaf(plan.SeqScan, t, i, q.PredsOn(t))})
+	}
+	sort.Slice(us, func(i, j int) bool { return us[i].mask < us[j].mask })
+
+	cur := us[0]
+	rest := us[1:]
+	for len(rest) > 0 {
+		pick := -1
+		for i, u := range rest {
+			if len(q.JoinsBetween(cur.mask, u.mask)) > 0 {
+				pick = i
+				break
+			}
+		}
+		if pick == -1 {
+			pick = 0
+		}
+		u := rest[pick]
+		rest = append(rest[:pick], rest[pick+1:]...)
+		conds := q.JoinsBetween(cur.mask, u.mask)
+		cur = unit{cur.mask.Union(u.mask), plan.NewJoin(plan.HashJoin, cur.node, u.node, conds)}
+	}
+	return cur.node
+}

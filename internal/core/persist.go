@@ -1,0 +1,154 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/lpce-db/lpce/internal/encode"
+	"github.com/lpce-db/lpce/internal/storage"
+	"github.com/lpce-db/lpce/internal/treenn"
+)
+
+// Model persistence: saved models are self-describing (architecture
+// metadata travels with the weights) so deployments load them without
+// reconstructing training configuration.
+
+type treeModelSpec struct {
+	Cfg    treenn.Config
+	LogMax float64
+}
+
+// SaveTreeModel writes a tree model (architecture + weights) to w.
+func SaveTreeModel(w io.Writer, m *treenn.TreeModel) error {
+	return encodeTreeModel(gob.NewEncoder(w), m)
+}
+
+func encodeTreeModel(enc *gob.Encoder, m *treenn.TreeModel) error {
+	if err := enc.Encode(treeModelSpec{Cfg: m.Cfg, LogMax: m.LogMax}); err != nil {
+		return fmt.Errorf("core: encode model spec: %w", err)
+	}
+	return m.Params.EncodeGob(enc)
+}
+
+// LoadTreeModel reconstructs a tree model previously written by
+// SaveTreeModel.
+func LoadTreeModel(r io.Reader) (*treenn.TreeModel, error) {
+	return decodeTreeModel(gob.NewDecoder(r))
+}
+
+func decodeTreeModel(dec *gob.Decoder) (*treenn.TreeModel, error) {
+	var spec treeModelSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("core: decode model spec: %w", err)
+	}
+	m := treenn.NewTreeModel(spec.Cfg)
+	m.LogMax = spec.LogMax
+	if err := m.Params.DecodeGob(dec); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// SaveTreeModelFile writes the model to path.
+func SaveTreeModelFile(path string, m *treenn.TreeModel) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := SaveTreeModel(f, m); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadTreeModelFile loads a model from path.
+func LoadTreeModelFile(path string) (*treenn.TreeModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadTreeModel(f)
+}
+
+type refinerSpec struct {
+	Kind       RefinerKind
+	LogMax     float64
+	HasContent bool
+	HasRefine  bool
+	HasConnect bool
+	ConnectDim int
+}
+
+// SaveRefiner writes a trained LPCE-R (all modules plus the connect layer)
+// to w.
+func SaveRefiner(w io.Writer, r *Refiner) error {
+	enc := gob.NewEncoder(w)
+	spec := refinerSpec{
+		Kind: r.Kind, LogMax: r.LogMax,
+		HasContent: r.Content != nil,
+		HasRefine:  r.Refine != nil,
+		HasConnect: r.Connect != nil,
+	}
+	if r.Connect != nil {
+		spec.ConnectDim = r.CardM.Cfg.Hidden
+	}
+	if err := enc.Encode(spec); err != nil {
+		return fmt.Errorf("core: encode refiner spec: %w", err)
+	}
+	if err := encodeTreeModel(enc, r.CardM); err != nil {
+		return err
+	}
+	if r.Content != nil {
+		if err := encodeTreeModel(enc, r.Content); err != nil {
+			return err
+		}
+	}
+	if r.Refine != nil {
+		if err := encodeTreeModel(enc, r.Refine); err != nil {
+			return err
+		}
+	}
+	if r.Connect != nil {
+		if err := r.Connect.Params.EncodeGob(enc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadRefiner reconstructs a refiner written by SaveRefiner. The encoder
+// and database are runtime dependencies that do not travel with the
+// weights; they must match the ones used at training time.
+func LoadRefiner(rd io.Reader, enc *encode.Encoder, db *storage.Database) (*Refiner, error) {
+	dec := gob.NewDecoder(rd)
+	var spec refinerSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("core: decode refiner spec: %w", err)
+	}
+	r := &Refiner{Kind: spec.Kind, LogMax: spec.LogMax, Enc: enc, DB: db}
+	var err error
+	if r.CardM, err = decodeTreeModel(dec); err != nil {
+		return nil, err
+	}
+	if spec.HasContent {
+		if r.Content, err = decodeTreeModel(dec); err != nil {
+			return nil, err
+		}
+	}
+	if spec.HasRefine {
+		if r.Refine, err = decodeTreeModel(dec); err != nil {
+			return nil, err
+		}
+	}
+	if spec.HasConnect {
+		r.Connect = NewConnectLayer(spec.ConnectDim, 0)
+		if err := r.Connect.Params.DecodeGob(dec); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}

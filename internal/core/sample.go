@@ -1,0 +1,90 @@
+// Package core implements the paper's primary contribution: the LPCE-I
+// initial cardinality estimation model (§4 — SRU backbone, node-wise loss,
+// knowledge-distillation compression) and the LPCE-R progressive refinement
+// model (§5 — content/cardinality/connect/refine modules with two-stage
+// training), together with the training-sample collection pipeline and the
+// estimator adapters that plug the models into the query optimizer.
+package core
+
+import (
+	"math"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/optimizer"
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// Sample is one training example: an execution plan with the true
+// cardinality of every node (the paper's EXPLAIN ANALYZE output).
+type Sample struct {
+	Query *query.Query
+	Plan  *plan.Node
+}
+
+// CollectStats reports the cost of sample collection, the dominant cost in
+// the paper's Figure 18.
+type CollectStats struct {
+	Collected int
+	Skipped   int // queries whose collection exceeded the work budget
+	Duration  time.Duration
+}
+
+// CollectSamples executes each query with an instrumented bottom-up
+// executor to obtain per-node true cardinalities. Plans are produced by the
+// engine's built-in histogram estimator, matching the paper's workflow of
+// harvesting plans from the production optimizer's log. Queries exceeding
+// budget work units are skipped (they would dominate collection time).
+func CollectSamples(db *storage.Database, est cardest.Estimator, queries []*query.Query, budget int64) ([]Sample, CollectStats) {
+	start := time.Now()
+	opt := optimizer.New(db, est)
+	var out []Sample
+	var stats CollectStats
+	for _, q := range queries {
+		p, _, err := opt.Plan(q)
+		if err != nil {
+			stats.Skipped++
+			continue
+		}
+		ctx := &exec.Ctx{DB: db, Q: q, Budget: budget}
+		if _, err := exec.RunCollect(ctx, p); err != nil {
+			stats.Skipped++
+			continue
+		}
+		out = append(out, Sample{Query: q, Plan: p})
+		stats.Collected++
+	}
+	stats.Duration = time.Since(start)
+	return out, stats
+}
+
+// MaxLogCard returns ln of the largest node cardinality across the samples
+// (at least ln 2), the normalization constant shared by all models trained
+// on the set.
+func MaxLogCard(samples []Sample) float64 {
+	maxCard := 2.0
+	for _, s := range samples {
+		s.Plan.Walk(func(n *plan.Node) {
+			if n.TrueCard > maxCard {
+				maxCard = n.TrueCard
+			}
+		})
+	}
+	return math.Log(maxCard)
+}
+
+// SplitTrainValidation splits samples into train and validation sets with
+// the given validation fraction (the paper holds out 10%).
+func SplitTrainValidation(samples []Sample, valFrac float64) (train, val []Sample) {
+	nVal := int(float64(len(samples)) * valFrac)
+	if nVal >= len(samples) {
+		nVal = len(samples) - 1
+	}
+	if nVal < 0 {
+		nVal = 0
+	}
+	return samples[:len(samples)-nVal], samples[len(samples)-nVal:]
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math/rand"
+
+	"github.com/lpce-db/lpce/internal/autodiff"
+	"github.com/lpce-db/lpce/internal/encode"
+	"github.com/lpce-db/lpce/internal/nn"
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/storage"
+	"github.com/lpce-db/lpce/internal/tensor"
+	"github.com/lpce-db/lpce/internal/treenn"
+)
+
+// TrainConfig controls the training of one tree model.
+type TrainConfig struct {
+	Hidden   int
+	OutWidth int
+	Cell     treenn.CellKind
+	Epochs   int
+	Batch    int // paper: 50
+	LR       float64
+	// NodeWise selects the node-wise loss (Eq. 3); false uses the
+	// query-wise loss (Eq. 2), the LPCE-Q ablation.
+	NodeWise bool
+	ClipNorm float64
+	Seed     int64
+}
+
+// Defaults fills zero fields with sensible values.
+func (c TrainConfig) Defaults() TrainConfig {
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	if c.OutWidth == 0 {
+		c.OutWidth = 64
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.Batch == 0 {
+		c.Batch = 50
+	}
+	if c.LR == 0 {
+		c.LR = 1e-3
+	}
+	if c.ClipNorm == 0 {
+		c.ClipNorm = 25
+	}
+	return c
+}
+
+// CardFeature builds the cardinality-augmented feature of LPCE-R's
+// cardinality module (§5.2): node features concatenated with the true
+// cardinalities of the node's children. Leaves, which have no children, use
+// their base table's row count ("the number of tuples in the considered
+// attributes") and zero.
+func CardFeature(enc *encode.Encoder, logMax float64, db *storage.Database) treenn.FeatureFn {
+	return func(n *plan.Node) tensor.Vec {
+		base := enc.EncodeNode(n)
+		var l, r float64
+		switch {
+		case n.Left != nil:
+			l = n.Left.TrueCard
+			if n.Right != nil {
+				r = n.Right.TrueCard
+			}
+		case n.Table != nil:
+			l = float64(db.Table(n.Table).NumRows())
+		case n.Mat != nil:
+			l = float64(n.Mat.Card())
+		}
+		return enc.WithCards(base, l, r, logMax)
+	}
+}
+
+// TrainTreeModel trains a tree model (any cell, either loss) on the
+// samples, minimizing mean q-error with Adam. It is the shared trainer for
+// LPCE-I's teacher, the TLSTM baseline, LPCE-R's content module, and the
+// LPCE-S/LPCE-C/LPCE-Q ablations.
+func TrainTreeModel(cfg TrainConfig, enc *encode.Encoder, samples []Sample, logMax float64, feat func(m *treenn.TreeModel) treenn.FeatureFn) *treenn.TreeModel {
+	cfg = cfg.Defaults()
+	m := treenn.NewTreeModel(treenn.Config{
+		InputDim: enc.Dim(),
+		Hidden:   cfg.Hidden,
+		OutWidth: cfg.OutWidth,
+		Cell:     cfg.Cell,
+		Seed:     cfg.Seed,
+	})
+	m.LogMax = logMax
+	if feat == nil {
+		feat = func(m *treenn.TreeModel) treenn.FeatureFn {
+			return func(n *plan.Node) tensor.Vec { return enc.EncodeNode(n) }
+		}
+	}
+	trainLoop(cfg, m, samples, feat(m))
+	return m
+}
+
+// TrainTreeModelWithDim trains a tree model whose input dimension differs
+// from the plain encoding (the cardinality-augmented module).
+func TrainTreeModelWithDim(cfg TrainConfig, inputDim int, samples []Sample, logMax float64, feat treenn.FeatureFn) *treenn.TreeModel {
+	cfg = cfg.Defaults()
+	m := treenn.NewTreeModel(treenn.Config{
+		InputDim: inputDim,
+		Hidden:   cfg.Hidden,
+		OutWidth: cfg.OutWidth,
+		Cell:     cfg.Cell,
+		Seed:     cfg.Seed,
+	})
+	m.LogMax = logMax
+	trainLoop(cfg, m, samples, feat)
+	return m
+}
+
+// trainLoop runs minibatch Adam over the samples.
+func trainLoop(cfg TrainConfig, m *treenn.TreeModel, samples []Sample, feat treenn.FeatureFn) {
+	if len(samples) == 0 {
+		return
+	}
+	opt := nn.NewAdam(cfg.LR)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	order := make([]int, len(samples))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// step-decay schedule: halve the rate twice in the final stretch so
+		// the q-error loss settles instead of oscillating around minima
+		switch {
+		case epoch == cfg.Epochs*8/10:
+			opt.LR = cfg.LR / 2
+		case epoch == cfg.Epochs*19/20:
+			opt.LR = cfg.LR / 4
+		}
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for b := 0; b < len(order); b += cfg.Batch {
+			end := b + cfg.Batch
+			if end > len(order) {
+				end = len(order)
+			}
+			m.Params.ZeroGrad()
+			inv := 1 / float64(end-b)
+			for _, si := range order[b:end] {
+				s := samples[si]
+				t := autodiff.NewTape()
+				outs := m.Forward(t, s.Plan, feat, nil)
+				seedQErrorGrads(t, m, s.Plan, outs, cfg.NodeWise, inv)
+				t.BackwardFrom()
+			}
+			m.Params.ClipGrad(cfg.ClipNorm)
+			opt.Step(m.Params)
+		}
+	}
+}
+
+// seedQErrorGrads attaches q-error losses to the requested nodes and seeds
+// their gradients with weight w; the caller then runs BackwardFrom once.
+func seedQErrorGrads(t *autodiff.Tape, m *treenn.TreeModel, root *plan.Node, outs map[*plan.Node]*treenn.NodeOut, nodeWise bool, w float64) {
+	attach := func(n *plan.Node) {
+		out, ok := outs[n]
+		if !ok || n.TrueCard < 0 {
+			return
+		}
+		loss := nn.QErrorLoss(t, out.Pred, n.TrueCard, m.LogMax)
+		loss.Grad[0] = w
+	}
+	if nodeWise {
+		root.Walk(attach)
+	} else {
+		attach(root)
+	}
+}
+
+// EvalQError computes the mean and per-sample q-errors of a model's root
+// (final-result) predictions over the samples, the metric of the paper's
+// Figures 1/20/21.
+func EvalQError(m *treenn.TreeModel, enc *encode.Encoder, samples []Sample) (mean float64, all []float64) {
+	feat := func(n *plan.Node) tensor.Vec { return enc.EncodeNode(n) }
+	for _, s := range samples {
+		est := m.Predict(s.Plan, feat)
+		q := nn.QError(s.Plan.TrueCard, est)
+		all = append(all, q)
+		mean += q
+	}
+	if len(all) > 0 {
+		mean /= float64(len(all))
+	}
+	return mean, all
+}

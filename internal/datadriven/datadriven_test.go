@@ -1,0 +1,285 @@
+package datadriven
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/histogram"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/testutil"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+func TestWalkPlanCoversSubset(t *testing.T) {
+	db := testutil.TinyDB()
+	g := workload.NewGenerator(db, 101)
+	for i := 0; i < 20; i++ {
+		q := g.Query(3 + i%3)
+		mask := q.AllTablesMask()
+		steps := walkPlan(q, mask)
+		if len(steps) != mask.Count() {
+			t.Fatalf("steps = %d, tables = %d", len(steps), mask.Count())
+		}
+		covered := query.NewBitSet()
+		for si, st := range steps {
+			if covered.Has(st.tableIdx) {
+				t.Fatal("table attached twice")
+			}
+			if si > 0 && len(st.conds) == 0 {
+				t.Fatalf("step %d has no join conditions (cross product)", si)
+			}
+			covered = covered.Set(st.tableIdx)
+		}
+		if covered != mask {
+			t.Fatal("walk does not cover the subset")
+		}
+	}
+}
+
+func TestWanderJoinUnbiasedOnSmallQueries(t *testing.T) {
+	// With many walks the wander-join estimate should land within a small
+	// factor of the truth for 1-2 join queries.
+	db := testutil.TinyDB()
+	oracle := exec.NewTrueCardOracle(db)
+	g := workload.NewGenerator(db, 102)
+	s := newSampler(db, 1)
+	okCount, total := 0, 0
+	for i := 0; i < 15; i++ {
+		q := g.Query(1 + i%2)
+		mask := q.AllTablesMask()
+		truth := oracle.EstimateSubset(q, mask)
+		if truth < 20 {
+			continue // tiny results are high-variance for any sampler
+		}
+		est := s.wander(q, mask, 1500, nil)
+		total++
+		if est > truth/3 && est < truth*3 {
+			okCount++
+		}
+	}
+	if total == 0 {
+		t.Skip("no queries with large enough results")
+	}
+	if okCount*3 < total*2 {
+		t.Fatalf("wander join within 3x for only %d/%d queries", okCount, total)
+	}
+}
+
+func TestSingleTableWanderIsExact(t *testing.T) {
+	db := testutil.TinyDB()
+	g := workload.NewGenerator(db, 103)
+	s := newSampler(db, 2)
+	oracle := exec.NewTrueCardOracle(db)
+	for i := 0; i < 10; i++ {
+		q := g.Query(1)
+		for ti := range q.Tables {
+			mask := query.NewBitSet().Set(ti)
+			est := s.wander(q, mask, 10, nil)
+			truth := oracle.EstimateSubset(q, mask)
+			if est != truth {
+				t.Fatalf("single-table estimate %v != truth %v", est, truth)
+			}
+		}
+	}
+}
+
+func TestFilteredRowsCachePerQuery(t *testing.T) {
+	db := testutil.TinyDB()
+	g := workload.NewGenerator(db, 104)
+	s := newSampler(db, 3)
+	q1 := g.Query(2)
+	q2 := g.Query(2)
+	r1 := s.filteredRows(q1, 0)
+	r1again := s.filteredRows(q1, 0)
+	if &r1[0] != &r1again[0] && len(r1) > 0 {
+		t.Fatal("cache miss for same query")
+	}
+	s.filteredRows(q2, 0) // switches the cache
+	if s.cachedQuery != q2 {
+		t.Fatal("cache did not switch queries")
+	}
+}
+
+func allEstimators(db interface{}) []interface {
+	Name() string
+	EstimateSubset(*query.Query, query.BitSet) float64
+} {
+	d := testutil.TinyDB()
+	return []interface {
+		Name() string
+		EstimateSubset(*query.Query, query.BitSet) float64
+	}{
+		NewJoinSample(d, 100, 1),
+		NewTableHist(d, 2),
+		NewFactorHist(d, 60, 3),
+		NewCalibratedSample(d, 120, 4),
+	}
+}
+
+func TestAllEstimatorsProduceValidEstimates(t *testing.T) {
+	db := testutil.TinyDB()
+	g := workload.NewGenerator(db, 105)
+	for _, est := range allEstimators(db) {
+		for i := 0; i < 4; i++ {
+			q := g.Query(2 + i%3)
+			for mask := query.BitSet(1); mask <= q.AllTablesMask(); mask++ {
+				if !q.Connected(mask) {
+					continue
+				}
+				v := est.EstimateSubset(q, mask)
+				if v < 1 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("%s: invalid estimate %v for mask %b", est.Name(), v, uint32(mask))
+				}
+			}
+		}
+	}
+}
+
+func TestEstimatorNames(t *testing.T) {
+	want := map[string]bool{"neurocard-sim": true, "deepdb-sim": true, "flat-sim": true, "uae-sim": true}
+	for _, est := range allEstimators(nil) {
+		if !want[est.Name()] {
+			t.Fatalf("unexpected name %s", est.Name())
+		}
+		delete(want, est.Name())
+	}
+	if len(want) != 0 {
+		t.Fatalf("missing estimators: %v", want)
+	}
+}
+
+func TestCalibrationImprovesDeepJoins(t *testing.T) {
+	db := testutil.SmallDB()
+	oracle := exec.NewTrueCardOracle(db)
+	g := workload.NewGenerator(db, 106)
+
+	calibQs := g.Queries(10, 4)
+	var examples []CalibrationExample
+	for _, q := range calibQs {
+		examples = append(examples, CalibrationExample{
+			Query: q, Mask: q.AllTablesMask(), TrueCard: oracle.EstimateSubset(q, q.AllTablesMask()),
+		})
+	}
+	cal := NewCalibratedSample(db, 200, 5)
+	cal.Calibrate(examples)
+	if len(cal.correction) == 0 {
+		t.Fatal("calibration learned nothing")
+	}
+	// sanity: calibrated estimates remain valid
+	q := g.Query(4)
+	v := cal.EstimateSubset(q, q.AllTablesMask())
+	if v < 1 || math.IsNaN(v) {
+		t.Fatalf("calibrated estimate invalid: %v", v)
+	}
+}
+
+func TestDataDrivenBeatsHistogramOnDeepJoins(t *testing.T) {
+	// The load-bearing property from the paper's Table 1: data-access
+	// estimators are more accurate than the independence-assumption
+	// histogram on correlated multi-join queries.
+	db := testutil.SmallDB()
+	oracle := exec.NewTrueCardOracle(db)
+	hist := histogram.NewEstimator(db)
+	js := NewJoinSample(db, 400, 6)
+	g := workload.NewGenerator(db, 107)
+
+	var histLogQ, jsLogQ float64
+	n := 0
+	for i := 0; i < 12; i++ {
+		q := g.Query(4)
+		mask := q.AllTablesMask()
+		truth := oracle.EstimateSubset(q, mask)
+		histLogQ += math.Log(qerr(truth, hist.EstimateSubset(q, mask)))
+		jsLogQ += math.Log(qerr(truth, js.EstimateSubset(q, mask)))
+		n++
+	}
+	if jsLogQ >= histLogQ {
+		t.Fatalf("join sampling (mean log q %.2f) should beat histograms (%.2f) on 4-join queries",
+			jsLogQ/float64(n), histLogQ/float64(n))
+	}
+}
+
+func qerr(a, b float64) float64 {
+	if a < 1 {
+		a = 1
+	}
+	if b < 1 {
+		b = 1
+	}
+	if a > b {
+		return a / b
+	}
+	return b / a
+}
+
+func TestClusterStats(t *testing.T) {
+	db := testutil.TinyDB()
+	tab := db.TableByName("title")
+	cs := buildClusters(tab)
+	totalRows := 0
+	for _, rows := range cs.rows {
+		totalRows += len(rows)
+	}
+	if totalRows != tab.NumRows() {
+		t.Fatalf("clusters cover %d rows, table has %d", totalRows, tab.NumRows())
+	}
+	var fracSum float64
+	for _, f := range cs.rowFracs {
+		fracSum += f
+	}
+	if math.Abs(fracSum-1) > 1e-9 {
+		t.Fatalf("cluster fractions sum to %v", fracSum)
+	}
+	// no-predicate selectivity is exactly 1
+	if got := cs.selectivity(nil, 50); got != 1 {
+		t.Fatalf("empty-pred selectivity = %v", got)
+	}
+	// all-pass predicate: id >= 0
+	id := tab.Meta.Column("id")
+	sel := cs.selectivity([]query.Predicate{{Col: id, Op: query.OpGE, Operand: 0}}, 50)
+	if math.Abs(sel-1) > 1e-9 {
+		t.Fatalf("id >= 0 should have selectivity 1, got %v", sel)
+	}
+	// none-pass predicate
+	sel = cs.selectivity([]query.Predicate{{Col: id, Op: query.OpLT, Operand: 0}}, 50)
+	if sel != 0 {
+		t.Fatalf("id < 0 should have selectivity 0, got %v", sel)
+	}
+}
+
+func TestFallbackEstimateUsedWhenWalksDie(t *testing.T) {
+	db := testutil.TinyDB()
+	g := workload.NewGenerator(db, 108)
+	s := newSampler(db, 7)
+	for i := 0; i < 10; i++ {
+		q := g.Query(3)
+		mask := q.AllTablesMask()
+		// zero walks always "die", so wanderWithFallback must return the
+		// independence fallback, which is >= 1 and finite
+		v := s.wanderWithFallback(q, mask, 0, nil)
+		if v < 1 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("fallback estimate %v invalid", v)
+		}
+		// and it must equal the explicit fallback
+		if want := s.fallbackEstimate(q, mask); v != want {
+			t.Fatalf("fallback mismatch: %v vs %v", v, want)
+		}
+	}
+}
+
+func TestFallbackSingleTableExact(t *testing.T) {
+	db := testutil.TinyDB()
+	g := workload.NewGenerator(db, 109)
+	s := newSampler(db, 8)
+	oracle := exec.NewTrueCardOracle(db)
+	for i := 0; i < 5; i++ {
+		q := g.Query(1)
+		for ti := range q.Tables {
+			mask := query.NewBitSet().Set(ti)
+			if got, want := s.fallbackEstimate(q, mask), oracle.EstimateSubset(q, mask); want >= 1 && got != want {
+				t.Fatalf("single-table fallback %v != exact %v", got, want)
+			}
+		}
+	}
+}

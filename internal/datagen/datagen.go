@@ -1,0 +1,476 @@
+// Package datagen builds the synthetic IMDB-like database used throughout
+// the repository. The real IMDB dataset (22 tables, 2.1M movies) is the
+// paper's benchmark because of two properties that break
+// independence-assumption estimators: heavy skew (a few popular movies
+// account for most cast/info rows) and cross-table correlation (a movie's
+// kind predicts its year, its keywords, and its cast structure). The
+// generator plants exactly those pathologies deterministically:
+//
+//   - Zipfian fan-out: each title draws a popularity score from a Zipf
+//     distribution; the number of cast_info / movie_info / movie_keyword /
+//     movie_companies rows per title is proportional to it.
+//   - kind ↔ year correlation: production_year is sampled from a
+//     kind-specific window, so predicates on both columns are far from
+//     independent.
+//   - kind ↔ keyword correlation: keywords cluster by title kind, so a
+//     keyword range predicate implies a kind distribution.
+//   - year ↔ info correlation: movie_info.info values depend on info_type
+//     and production_year.
+//   - role ↔ gender correlation in cast_info/name.
+//
+// The schema is a trimmed Join-Order-Benchmark core: title at the center,
+// fact tables referencing it, and dimension tables hanging off the facts,
+// supporting queries of up to 8 joins (9 relations).
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// Config controls the size and randomness of the generated database.
+type Config struct {
+	// Titles is the number of rows in the central title table; all other
+	// fact-table sizes derive from it.
+	Titles int
+	// Seed makes generation deterministic.
+	Seed int64
+	// ZipfS is the power-law exponent for title popularity ranks: title
+	// with popularity rank r gets weight 1/(r+1)^ZipfS. Larger is more
+	// skewed. Defaults to 0.75 when zero.
+	ZipfS float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Titles <= 0 {
+		c.Titles = 2000
+	}
+	if c.ZipfS <= 0 {
+		c.ZipfS = 0.75
+	}
+	return c
+}
+
+// BuildSchema constructs the IMDB-lite schema. It is exported separately
+// from Generate so tests and tools can inspect the schema without paying
+// for data generation.
+func BuildSchema() *catalog.Schema {
+	s := catalog.NewSchema()
+
+	kindType := s.AddTable("kind_type", catalog.PK("id"))
+	infoType := s.AddTable("info_type", catalog.PK("id"))
+	companyType := s.AddTable("company_type", catalog.PK("id"))
+	roleType := s.AddTable("role_type", catalog.PK("id"))
+
+	title := s.AddTable("title",
+		catalog.PK("id"),
+		catalog.FK("kind_id", kindType.Column("id")),
+		catalog.Attr("production_year"),
+		catalog.Attr("phonetic_code"),
+		catalog.Attr("season_nr"),
+	)
+	companyName := s.AddTable("company_name",
+		catalog.PK("id"),
+		catalog.Attr("country_code"),
+		catalog.Attr("name_code"),
+	)
+	keyword := s.AddTable("keyword",
+		catalog.PK("id"),
+		catalog.Attr("phonetic_code"),
+	)
+	name := s.AddTable("name",
+		catalog.PK("id"),
+		catalog.Attr("gender"),
+		catalog.Attr("name_code"),
+	)
+	charName := s.AddTable("char_name",
+		catalog.PK("id"),
+		catalog.Attr("name_code"),
+	)
+
+	s.AddTable("movie_companies",
+		catalog.FK("movie_id", title.Column("id")),
+		catalog.FK("company_id", companyName.Column("id")),
+		catalog.FK("company_type_id", companyType.Column("id")),
+	)
+	s.AddTable("movie_info",
+		catalog.FK("movie_id", title.Column("id")),
+		catalog.FK("info_type_id", infoType.Column("id")),
+		catalog.Attr("info"),
+	)
+	s.AddTable("movie_info_idx",
+		catalog.FK("movie_id", title.Column("id")),
+		catalog.FK("info_type_id", infoType.Column("id")),
+		catalog.Attr("info"),
+	)
+	s.AddTable("movie_keyword",
+		catalog.FK("movie_id", title.Column("id")),
+		catalog.FK("keyword_id", keyword.Column("id")),
+	)
+	s.AddTable("cast_info",
+		catalog.FK("movie_id", title.Column("id")),
+		catalog.FK("person_id", name.Column("id")),
+		catalog.FK("role_id", roleType.Column("id")),
+		catalog.FK("person_role_id", charName.Column("id")),
+	)
+	return s
+}
+
+// Generate builds the full database deterministically from cfg.
+func Generate(cfg Config) *storage.Database {
+	cfg = cfg.withDefaults()
+	schema := BuildSchema()
+	db := storage.NewDatabase(schema)
+	g := &generator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		schema: schema,
+		db:     db,
+	}
+	g.run()
+	return db
+}
+
+type generator struct {
+	cfg    Config
+	rng    *rand.Rand
+	schema *catalog.Schema
+	db     *storage.Database
+
+	// per-title latent state driving correlations
+	titleKind []int64
+	titleYear []int64
+	titlePop  []float64 // popularity weight in (0,1]
+}
+
+// Dimension-table cardinalities relative to Titles.
+const (
+	numKinds        = 7
+	numInfoTypes    = 40
+	numCompanyTypes = 4
+	numRoleTypes    = 11
+)
+
+func (g *generator) run() {
+	n := g.cfg.Titles
+	g.fillEnum("kind_type", numKinds)
+	g.fillEnum("info_type", numInfoTypes)
+	g.fillEnum("company_type", numCompanyTypes)
+	g.fillEnum("role_type", numRoleTypes)
+
+	g.fillTitle(n)
+	numCompanies := maxInt(n/8, 16)
+	numKeywords := maxInt(n/4, 32)
+	numNames := maxInt(n/2, 32)
+	numChars := maxInt(n/3, 32)
+	g.fillCompanyName(numCompanies)
+	g.fillKeyword(numKeywords)
+	g.fillName(numNames)
+	g.fillCharName(numChars)
+
+	g.fillMovieCompanies(numCompanies)
+	g.fillMovieInfo("movie_info", 3.0)
+	g.fillMovieInfo("movie_info_idx", 1.2)
+	g.fillMovieKeyword(numKeywords)
+	g.fillCastInfo(numNames, numChars)
+
+	for _, t := range g.db.Tables {
+		t.FinishLoad()
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (g *generator) newTable(name string, rows int) *storage.Table {
+	meta := g.schema.Table(name)
+	t := storage.NewTable(meta, rows)
+	g.db.Tables[meta.ID] = t
+	return t
+}
+
+func (g *generator) fillEnum(name string, n int) {
+	t := g.newTable(name, n)
+	ids := t.ColByName("id")
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+}
+
+// fillTitle populates the central table with the kind↔year correlation:
+// kind k movies are drawn from a year window that shifts with k, so
+// P(year | kind) is far from the marginal P(year).
+func (g *generator) fillTitle(n int) {
+	t := g.newTable("title", n)
+	ids := t.ColByName("id")
+	kinds := t.ColByName("kind_id")
+	years := t.ColByName("production_year")
+	phonetic := t.ColByName("phonetic_code")
+	seasons := t.ColByName("season_nr")
+
+	g.titleKind = make([]int64, n)
+	g.titleYear = make([]int64, n)
+	g.titlePop = make([]float64, n)
+
+	// Power-law popularity: each title gets a random rank r in a
+	// permutation and weight 1/(r+1)^s, so a handful of titles dominate the
+	// fact-table fan-out — exactly the skew that makes IMDB hard for
+	// independence-based estimators. Popularity is additionally boosted for
+	// recent titles (yearBoost below), planting a year↔fan-out correlation:
+	// a production_year predicate changes the *average* join fan-out, which
+	// per-column statistics cannot see.
+	ranks := g.rng.Perm(n)
+	for i := 0; i < n; i++ {
+		g.titlePop[i] = math.Pow(1/float64(ranks[i]+1), g.cfg.ZipfS)
+	}
+
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		// skewed kind: kinds 0 and 1 dominate (movies and TV episodes in
+		// real IMDB), matching the real dataset's imbalance.
+		k := int64(g.skewedKind())
+		kinds[i] = k
+		g.titleKind[i] = k
+
+		// kind-dependent year window, width 40, sliding by kind
+		base := 1940 + int(k)*9
+		year := int64(base + g.rng.Intn(41))
+		years[i] = year
+		g.titleYear[i] = year
+
+		phonetic[i] = int64(g.rng.Intn(1000))
+		// season_nr: only TV kinds (>=4) have seasons; else 0. Another
+		// planted correlation.
+		if k >= 4 {
+			seasons[i] = int64(1 + g.rng.Intn(30))
+		} else {
+			seasons[i] = 0
+		}
+
+		// year↔popularity correlation: recent titles are up to 6x more
+		// popular, so predicates on production_year shift join fan-outs.
+		g.titlePop[i] *= 1 + 5*float64(year-1940)/80
+	}
+
+	// normalize popularity to mean 1 so fan-out means are calibrated
+	var wsum float64
+	for _, w := range g.titlePop {
+		wsum += w
+	}
+	norm := float64(n) / wsum
+	for i := range g.titlePop {
+		g.titlePop[i] *= norm
+	}
+}
+
+// skewedKind draws a kind with an imbalanced categorical distribution.
+func (g *generator) skewedKind() int {
+	r := g.rng.Float64()
+	switch {
+	case r < 0.45:
+		return 0
+	case r < 0.70:
+		return 1
+	case r < 0.82:
+		return 2
+	case r < 0.90:
+		return 3
+	case r < 0.95:
+		return 4
+	case r < 0.98:
+		return 5
+	default:
+		return 6
+	}
+}
+
+func (g *generator) fillCompanyName(n int) {
+	t := g.newTable("company_name", n)
+	ids := t.ColByName("id")
+	country := t.ColByName("country_code")
+	nameCode := t.ColByName("name_code")
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		// skewed country distribution: country 0 ("us") dominates
+		r := g.rng.Float64()
+		switch {
+		case r < 0.4:
+			country[i] = 0
+		case r < 0.6:
+			country[i] = 1
+		default:
+			country[i] = int64(2 + g.rng.Intn(38))
+		}
+		nameCode[i] = int64(g.rng.Intn(5000))
+	}
+}
+
+func (g *generator) fillKeyword(n int) {
+	t := g.newTable("keyword", n)
+	ids := t.ColByName("id")
+	phonetic := t.ColByName("phonetic_code")
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		phonetic[i] = int64(g.rng.Intn(2000))
+	}
+}
+
+func (g *generator) fillName(n int) {
+	t := g.newTable("name", n)
+	ids := t.ColByName("id")
+	gender := t.ColByName("gender")
+	nameCode := t.ColByName("name_code")
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		if g.rng.Float64() < 0.62 {
+			gender[i] = 0 // male-skewed, as in real IMDB
+		} else {
+			gender[i] = 1
+		}
+		nameCode[i] = int64(g.rng.Intn(8000))
+	}
+}
+
+func (g *generator) fillCharName(n int) {
+	t := g.newTable("char_name", n)
+	ids := t.ColByName("id")
+	nameCode := t.ColByName("name_code")
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		nameCode[i] = int64(g.rng.Intn(6000))
+	}
+}
+
+// fanout returns the number of fact rows for title i, proportional to its
+// normalized popularity weight (mean 1): popular titles have long cast
+// lists and many info rows, with stochastic rounding so the expected total
+// is mean per title.
+func (g *generator) fanout(i int, mean float64) int {
+	f := mean * g.titlePop[i]
+	base := int(f)
+	if g.rng.Float64() < f-float64(base) {
+		base++
+	}
+	if base > 400 {
+		base = 400
+	}
+	return base
+}
+
+func (g *generator) fillMovieCompanies(numCompanies int) {
+	type row struct{ movie, company, ctype int64 }
+	var rows []row
+	for i := range g.titlePop {
+		f := g.fanout(i, 2.2)
+		for j := 0; j < f; j++ {
+			// company choice skewed to low ids (big studios)
+			c := int64(g.rng.Intn(numCompanies))
+			if g.rng.Float64() < 0.5 {
+				c = int64(g.rng.Intn(maxInt(numCompanies/10, 1)))
+			}
+			rows = append(rows, row{int64(i), c, int64(g.rng.Intn(numCompanyTypes))})
+		}
+	}
+	t := g.newTable("movie_companies", len(rows))
+	mid := t.ColByName("movie_id")
+	cid := t.ColByName("company_id")
+	ctid := t.ColByName("company_type_id")
+	for i, r := range rows {
+		mid[i], cid[i], ctid[i] = r.movie, r.company, r.ctype
+	}
+}
+
+// fillMovieInfo populates movie_info or movie_info_idx with the
+// year↔info correlation: the info value is a function of info_type and the
+// movie's production year plus noise, so a range predicate on info value
+// implies a year (and hence kind) distribution.
+func (g *generator) fillMovieInfo(table string, mean float64) {
+	type row struct{ movie, itype, info int64 }
+	var rows []row
+	for i := range g.titlePop {
+		f := g.fanout(i, mean)
+		for j := 0; j < f; j++ {
+			it := int64(g.rng.Intn(numInfoTypes))
+			// info value: base per type + year-linked trend + noise
+			info := it*100 + (g.titleYear[i] - 1940) + int64(g.rng.Intn(20))
+			rows = append(rows, row{int64(i), it, info})
+		}
+	}
+	t := g.newTable(table, len(rows))
+	mid := t.ColByName("movie_id")
+	itid := t.ColByName("info_type_id")
+	info := t.ColByName("info")
+	for i, r := range rows {
+		mid[i], itid[i], info[i] = r.movie, r.itype, r.info
+	}
+}
+
+// fillMovieKeyword plants the kind↔keyword correlation: keywords cluster by
+// the movie's kind, so the join result of movie_keyword with a keyword-range
+// predicate is highly non-uniform across kinds.
+func (g *generator) fillMovieKeyword(numKeywords int) {
+	type row struct{ movie, keyword int64 }
+	var rows []row
+	clusterWidth := maxInt(numKeywords/numKinds, 1)
+	for i := range g.titlePop {
+		f := g.fanout(i, 2.6)
+		base := int(g.titleKind[i]) * clusterWidth
+		for j := 0; j < f; j++ {
+			var k int
+			if g.rng.Float64() < 0.7 {
+				// in-cluster keyword for this kind
+				k = base + g.rng.Intn(clusterWidth)
+			} else {
+				k = g.rng.Intn(numKeywords)
+			}
+			if k >= numKeywords {
+				k = numKeywords - 1
+			}
+			rows = append(rows, row{int64(i), int64(k)})
+		}
+	}
+	t := g.newTable("movie_keyword", len(rows))
+	mid := t.ColByName("movie_id")
+	kid := t.ColByName("keyword_id")
+	for i, r := range rows {
+		mid[i], kid[i] = r.movie, r.keyword
+	}
+}
+
+// fillCastInfo is the largest fact table, with the role↔popularity
+// correlation: popular movies have larger casts and more minor roles.
+func (g *generator) fillCastInfo(numNames, numChars int) {
+	type row struct{ movie, person, role, char int64 }
+	var rows []row
+	for i := range g.titlePop {
+		f := g.fanout(i, 4.5)
+		for j := 0; j < f; j++ {
+			// person choice skewed to low ids (prolific actors)
+			p := int64(g.rng.Intn(numNames))
+			if g.rng.Float64() < 0.4 {
+				p = int64(g.rng.Intn(maxInt(numNames/20, 1)))
+			}
+			// early cast positions are lead roles (low role ids)
+			role := int64(j)
+			if role >= numRoleTypes {
+				role = int64(g.rng.Intn(numRoleTypes))
+			}
+			rows = append(rows, row{int64(i), p, role, int64(g.rng.Intn(numChars))})
+		}
+	}
+	t := g.newTable("cast_info", len(rows))
+	mid := t.ColByName("movie_id")
+	pid := t.ColByName("person_id")
+	rid := t.ColByName("role_id")
+	chid := t.ColByName("person_role_id")
+	for i, r := range rows {
+		mid[i], pid[i], rid[i], chid[i] = r.movie, r.person, r.role, r.char
+	}
+}

@@ -1,0 +1,174 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSchemaShape(t *testing.T) {
+	s := BuildSchema()
+	want := []string{
+		"kind_type", "info_type", "company_type", "role_type",
+		"title", "company_name", "keyword", "name", "char_name",
+		"movie_companies", "movie_info", "movie_info_idx", "movie_keyword", "cast_info",
+	}
+	if len(s.Tables) != len(want) {
+		t.Fatalf("tables = %d, want %d", len(s.Tables), len(want))
+	}
+	for _, name := range want {
+		if s.Table(name) == nil {
+			t.Fatalf("missing table %s", name)
+		}
+	}
+	// the join graph must support 8-join (9-relation) queries
+	adj := s.JoinableTables()
+	title := s.Table("title")
+	if len(adj[title.ID]) < 5 {
+		t.Fatalf("title should join with >=5 fact tables, got %d", len(adj[title.ID]))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Titles: 200, Seed: 5})
+	b := Generate(Config{Titles: 200, Seed: 5})
+	ta, tb := a.TableByName("cast_info"), b.TableByName("cast_info")
+	if ta.NumRows() != tb.NumRows() {
+		t.Fatalf("row counts differ: %d vs %d", ta.NumRows(), tb.NumRows())
+	}
+	for c := range ta.Cols {
+		for r := range ta.Cols[c] {
+			if ta.Cols[c][r] != tb.Cols[c][r] {
+				t.Fatalf("cell (%d,%d) differs", c, r)
+			}
+		}
+	}
+	c := Generate(Config{Titles: 200, Seed: 6})
+	if c.TableByName("cast_info").NumRows() == ta.NumRows() &&
+		c.TableByName("movie_keyword").NumRows() == a.TableByName("movie_keyword").NumRows() {
+		t.Fatal("different seeds should change fact-table sizes")
+	}
+}
+
+func TestForeignKeysValid(t *testing.T) {
+	db := Generate(Config{Titles: 300, Seed: 1})
+	for _, tab := range db.Tables {
+		for _, col := range tab.Meta.Columns {
+			if col.Ref == nil {
+				continue
+			}
+			refRows := int64(db.Table(col.Ref.Table).NumRows())
+			for r, v := range tab.Cols[col.Pos] {
+				if v < 0 || v >= refRows {
+					t.Fatalf("%s row %d: FK value %d outside [0,%d)", col.QualifiedName(), r, v, refRows)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsFilled(t *testing.T) {
+	db := Generate(Config{Titles: 300, Seed: 2})
+	year := db.Schema.Table("title").Column("production_year")
+	if year.NDV == 0 || year.Min == 0 || year.Max <= year.Min {
+		t.Fatalf("year stats not filled: min %d max %d ndv %d", year.Min, year.Max, year.NDV)
+	}
+}
+
+func TestZipfSkewInFanout(t *testing.T) {
+	db := Generate(Config{Titles: 1000, Seed: 3})
+	ci := db.TableByName("cast_info")
+	counts := map[int64]int{}
+	for _, m := range ci.ColByName("movie_id") {
+		counts[m]++
+	}
+	// skew: the busiest movie should have far more rows than the average
+	maxC, total := 0, 0
+	for _, c := range counts {
+		total += c
+		if c > maxC {
+			maxC = c
+		}
+	}
+	avg := float64(total) / float64(len(counts))
+	if float64(maxC) < 4*avg {
+		t.Fatalf("fan-out not skewed: max %d vs avg %.1f", maxC, avg)
+	}
+}
+
+func TestKindYearCorrelation(t *testing.T) {
+	db := Generate(Config{Titles: 2000, Seed: 4})
+	title := db.TableByName("title")
+	kinds := title.ColByName("kind_id")
+	years := title.ColByName("production_year")
+	meanYear := func(kind int64) float64 {
+		var s, n float64
+		for i, k := range kinds {
+			if k == kind {
+				s += float64(years[i])
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return s / n
+	}
+	m0, m6 := meanYear(0), meanYear(6)
+	if m0 == 0 || m6 == 0 {
+		t.Skip("kind missing in small sample")
+	}
+	if math.Abs(m6-m0) < 20 {
+		t.Fatalf("kind-year correlation too weak: mean(kind0)=%.1f mean(kind6)=%.1f", m0, m6)
+	}
+}
+
+func TestKindKeywordCorrelation(t *testing.T) {
+	db := Generate(Config{Titles: 2000, Seed: 8})
+	title := db.TableByName("title")
+	mk := db.TableByName("movie_keyword")
+	kinds := title.ColByName("kind_id")
+	numKeywords := db.TableByName("keyword").NumRows()
+	clusterWidth := numKeywords / numKinds
+
+	// for kind-0 movies, keywords should concentrate in cluster 0
+	inCluster, total := 0, 0
+	for r, m := range mk.ColByName("movie_id") {
+		if kinds[m] != 0 {
+			continue
+		}
+		total++
+		k := mk.ColByName("keyword_id")[r]
+		if k < int64(clusterWidth) {
+			inCluster++
+		}
+	}
+	if total == 0 {
+		t.Skip("no kind-0 keywords")
+	}
+	frac := float64(inCluster) / float64(total)
+	if frac < 0.5 {
+		t.Fatalf("keyword clustering too weak: %.2f of kind-0 keywords in cluster 0", frac)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	db := Generate(Config{})
+	if db.TableByName("title").NumRows() != 2000 {
+		t.Fatalf("default titles = %d", db.TableByName("title").NumRows())
+	}
+}
+
+func TestSeasonOnlyForTVKinds(t *testing.T) {
+	db := Generate(Config{Titles: 500, Seed: 9})
+	title := db.TableByName("title")
+	kinds := title.ColByName("kind_id")
+	seasons := title.ColByName("season_nr")
+	for i := range kinds {
+		if kinds[i] < 4 && seasons[i] != 0 {
+			t.Fatalf("movie kind %d has season %d", kinds[i], seasons[i])
+		}
+		if kinds[i] >= 4 && seasons[i] == 0 {
+			t.Fatalf("tv kind %d has no season", kinds[i])
+		}
+	}
+}

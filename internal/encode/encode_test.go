@@ -1,0 +1,202 @@
+package encode
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/testutil"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+func TestDimConsistency(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEncoder(db.Schema)
+	nCols := db.Schema.NumColumns()
+	want := NumFuncs + 4*nCols + query.NumOps
+	if e.Dim() != want {
+		t.Fatalf("Dim = %d, want %d", e.Dim(), want)
+	}
+	if e.DimWithCards() != want+2 {
+		t.Fatalf("DimWithCards = %d", e.DimWithCards())
+	}
+}
+
+func TestScanEncoding(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEncoder(db.Schema)
+	title := db.Schema.Table("title")
+	year := title.Column("production_year")
+	mid := (year.Min + year.Max) / 2
+	p := query.Predicate{Col: year, Op: query.OpGT, Operand: mid}
+	v := e.EncodeScan([]query.Predicate{p})
+	if len(v) != e.Dim() {
+		t.Fatalf("len = %d", len(v))
+	}
+	if v[FuncScan] != 1 || v[FuncJoin] != 0 {
+		t.Fatal("function one-hot wrong")
+	}
+	if v[e.presenceOff()+year.GlobalID] != 1 {
+		t.Fatal("predicate presence slot not set")
+	}
+	if v[e.predOpOff()+int(query.OpGT)] != 1 {
+		t.Fatal("operator slot not set")
+	}
+	// > mid should admit roughly [0.5, 1]
+	if math.Abs(v[e.loOff()+year.GlobalID]-0.5) > 0.02 {
+		t.Fatalf("lo = %v, want ~0.5", v[e.loOff()+year.GlobalID])
+	}
+	if v[e.hiOff()+year.GlobalID] != 1 {
+		t.Fatalf("hi = %v, want 1", v[e.hiOff()+year.GlobalID])
+	}
+	// join slots must be zero for scans
+	for i := 0; i < db.Schema.NumColumns(); i++ {
+		if v[e.joinOff()+i] != 0 {
+			t.Fatal("scan has nonzero join slots")
+		}
+	}
+}
+
+func TestJoinEncodingTwoHot(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEncoder(db.Schema)
+	ci := db.Schema.Table("cast_info")
+	title := db.Schema.Table("title")
+	j := query.Join{Left: ci.Column("movie_id"), Right: title.Column("id")}
+	v := e.EncodeJoin([]query.Join{j})
+	if v[FuncJoin] != 1 {
+		t.Fatal("function one-hot wrong")
+	}
+	nz := 0
+	for i := 0; i < db.Schema.NumColumns(); i++ {
+		if v[e.joinOff()+i] != 0 {
+			nz++
+		}
+	}
+	if nz != 2 {
+		t.Fatalf("join encoding has %d nonzero slots, want 2", nz)
+	}
+	if v[e.joinOff()+j.Left.GlobalID] != 1 || v[e.joinOff()+j.Right.GlobalID] != 1 {
+		t.Fatal("wrong join slots set")
+	}
+}
+
+func TestMultiplePredicatesDifferentColumns(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEncoder(db.Schema)
+	title := db.Schema.Table("title")
+	year := title.Column("production_year")
+	kind := title.Column("kind_id")
+	p1 := query.Predicate{Col: year, Op: query.OpGT, Operand: year.Min}
+	p2 := query.Predicate{Col: kind, Op: query.OpEQ, Operand: kind.Min}
+	v := e.EncodeScan([]query.Predicate{p1, p2})
+	if v[e.presenceOff()+year.GlobalID] != 1 || v[e.presenceOff()+kind.GlobalID] != 1 {
+		t.Fatal("both predicate columns should be marked")
+	}
+	if v[e.predOpOff()+int(query.OpGT)] != 1 || v[e.predOpOff()+int(query.OpEQ)] != 1 {
+		t.Fatal("both operators should be marked")
+	}
+	// kind = min: interval collapses to [0, 0]
+	if v[e.loOff()+kind.GlobalID] != 0 || v[e.hiOff()+kind.GlobalID] != 0 {
+		t.Fatal("equality interval wrong")
+	}
+	// year > min: interval [0, 1] upper half -> lo 0, hi 1 with lo=0 since
+	// operand = min normalizes to 0
+	if v[e.hiOff()+year.GlobalID] != 1 {
+		t.Fatal("range interval wrong")
+	}
+}
+
+func TestSameColumnIntervalIntersection(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEncoder(db.Schema)
+	year := db.Schema.Table("title").Column("production_year")
+	span := year.Max - year.Min
+	p1 := query.Predicate{Col: year, Op: query.OpGE, Operand: year.Min + span/4}
+	p2 := query.Predicate{Col: year, Op: query.OpLE, Operand: year.Min + 3*span/4}
+	v := e.EncodeScan([]query.Predicate{p1, p2})
+	lo := v[e.loOff()+year.GlobalID]
+	hi := v[e.hiOff()+year.GlobalID]
+	if math.Abs(lo-0.25) > 0.05 || math.Abs(hi-0.75) > 0.05 {
+		t.Fatalf("intersection = [%v, %v], want ~[0.25, 0.75]", lo, hi)
+	}
+}
+
+func TestOperandNormalizationBounds(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEncoder(db.Schema)
+	year := db.Schema.Table("title").Column("production_year")
+	out := e.EncodeScan([]query.Predicate{{Col: year, Op: query.OpGE, Operand: year.Max + 1000}})
+	if out[e.loOff()+year.GlobalID] != 1 {
+		t.Fatal("out-of-range operand should clamp to 1")
+	}
+	under := e.EncodeScan([]query.Predicate{{Col: year, Op: query.OpLE, Operand: year.Min - 1000}})
+	if under[e.hiOff()+year.GlobalID] != 0 {
+		t.Fatal("below-range operand should clamp to 0")
+	}
+}
+
+func TestInPredicateInterval(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEncoder(db.Schema)
+	kind := db.Schema.Table("title").Column("kind_id")
+	v := e.EncodeScan([]query.Predicate{{Col: kind, Op: query.OpIn, InSet: []int64{kind.Min, kind.Max}}})
+	if v[e.loOff()+kind.GlobalID] != 0 || v[e.hiOff()+kind.GlobalID] != 1 {
+		t.Fatalf("IN {min,max} should span [0,1], got [%v,%v]",
+			v[e.loOff()+kind.GlobalID], v[e.hiOff()+kind.GlobalID])
+	}
+}
+
+func TestNEPredicateAdmitsEverything(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEncoder(db.Schema)
+	kind := db.Schema.Table("title").Column("kind_id")
+	v := e.EncodeScan([]query.Predicate{{Col: kind, Op: query.OpNE, Operand: 3}})
+	if v[e.loOff()+kind.GlobalID] != 0 || v[e.hiOff()+kind.GlobalID] != 1 {
+		t.Fatal("NE should admit the full interval")
+	}
+	if v[e.presenceOff()+kind.GlobalID] != 1 {
+		t.Fatal("NE should still mark presence")
+	}
+}
+
+func TestWithCards(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEncoder(db.Schema)
+	base := e.EncodeScan(nil)
+	logMax := math.Log(1e6)
+	v := e.WithCards(base, 1000, 1e6, logMax)
+	if len(v) != e.DimWithCards() {
+		t.Fatalf("len = %d", len(v))
+	}
+	if math.Abs(v[len(v)-2]-math.Log(1000)/logMax) > 1e-9 {
+		t.Fatal("left card normalization wrong")
+	}
+	if v[len(v)-1] != 1 {
+		t.Fatal("max card should normalize to 1")
+	}
+	// zero/negative cards clamp to 0
+	v2 := e.WithCards(base, 0, -5, logMax)
+	if v2[len(v2)-2] != 0 || v2[len(v2)-1] != 0 {
+		t.Fatal("sub-1 cards should clamp to 0")
+	}
+}
+
+func TestEncodeNodeDispatch(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEncoder(db.Schema)
+	g := workload.NewGenerator(db, 61)
+	q := g.Query(2)
+	p := exec.CanonicalPlan(q, q.AllTablesMask())
+	p.Walk(func(n *plan.Node) {
+		v := e.EncodeNode(n)
+		if n.Op.IsJoin() && v[FuncJoin] != 1 {
+			t.Fatal("join node not encoded as join")
+		}
+		if !n.Op.IsJoin() && v[FuncScan] != 1 {
+			t.Fatal("scan node not encoded as scan")
+		}
+	})
+}

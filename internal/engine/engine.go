@@ -1,0 +1,160 @@
+// Package engine drives end-to-end query execution, mirroring the paper's
+// decomposition (Eq. 7/8): T_end = T_P (plan search) + T_I (model
+// inference) + T_R (re-optimization) + T_E (execution). It wires together
+// the optimizer, the pipelined executor with checkpoints, the
+// re-optimization controller, and — when a refiner is supplied — LPCE-R's
+// progressive estimate refinement.
+package engine
+
+import (
+	"errors"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/optimizer"
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/reopt"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// Config selects the estimator stack for a run.
+type Config struct {
+	// Estimator provides initial cardinalities (histogram, LPCE-I, or any
+	// baseline).
+	Estimator cardest.Estimator
+	// Refiner enables LPCE-R re-optimization when non-nil.
+	Refiner *core.Refiner
+	// OverlayReopt enables re-optimization WITHOUT a learned refiner: on a
+	// checkpoint trigger the remaining estimates come from the base
+	// estimator overlaid with the exact cardinalities (and error ratios) of
+	// the executed sub-plans — the paper's §8 suggestion of applying
+	// progressive estimation to other estimator families. Ignored when
+	// Refiner is set.
+	OverlayReopt bool
+	// Policy is the re-optimization trigger rule (DefaultPolicy when zero).
+	Policy reopt.Policy
+	// Budget bounds executor work units per query; exceeded queries are
+	// reported as timeouts. Zero means unlimited.
+	Budget int64
+}
+
+// Result is the outcome and time decomposition of one query execution.
+type Result struct {
+	Count     int
+	PlanTime  time.Duration // T_P: plan enumeration excluding inference
+	InferTime time.Duration // T_I: initial model inference
+	ReoptTime time.Duration // T_R: re-planning + refinement inference
+	ExecTime  time.Duration // T_E: executor wall time
+	Reopts    int
+	TimedOut  bool
+	FinalPlan *plan.Node
+	// EstimateCalls counts initial-optimization estimator invocations.
+	EstimateCalls int
+}
+
+// Total returns the end-to-end time T_end.
+func (r Result) Total() time.Duration {
+	return r.PlanTime + r.InferTime + r.ReoptTime + r.ExecTime
+}
+
+// Engine executes queries against one database.
+type Engine struct {
+	DB *storage.Database
+}
+
+// New returns an engine over db.
+func New(db *storage.Database) *Engine { return &Engine{DB: db} }
+
+// Execute runs the query end to end.
+func (e *Engine) Execute(q *query.Query, cfg Config) (Result, error) {
+	var res Result
+	if cfg.Policy.QErrThreshold == 0 {
+		cfg.Policy = reopt.DefaultPolicy()
+	}
+
+	// Initial optimization: wall time minus time inside the estimator is
+	// T_P; estimator time is T_I.
+	timed := cardest.NewTimed(cfg.Estimator)
+	opt := optimizer.New(e.DB, timed)
+	start := time.Now()
+	p, stats, err := opt.Plan(q)
+	if err != nil {
+		return res, err
+	}
+	res.PlanTime = time.Since(start) - timed.Time
+	res.InferTime = timed.Time
+	res.EstimateCalls = stats.EstimateCalls
+
+	var ctrl exec.Controller = exec.NopController{}
+	var rctrl *reopt.Controller
+	if cfg.Refiner != nil || cfg.OverlayReopt {
+		rctrl = reopt.NewController(cfg.Policy)
+		ctrl = rctrl
+	}
+
+	for {
+		if rctrl != nil {
+			rctrl.SetPlan(p)
+		}
+		ctx := &exec.Ctx{DB: e.DB, Q: q, Controller: ctrl, Budget: cfg.Budget}
+		execStart := time.Now()
+		count, err := exec.Run(ctx, p)
+		res.ExecTime += time.Since(execStart)
+		switch {
+		case err == nil:
+			res.Count = count
+			res.FinalPlan = p
+			return res, nil
+		case errors.Is(err, exec.ErrBudget):
+			res.TimedOut = true
+			res.FinalPlan = p
+			return res, nil
+		default:
+			var sig *exec.ReoptSignal
+			if !errors.As(err, &sig) || rctrl == nil {
+				return res, err
+			}
+			// Re-optimization: refine estimates with LPCE-R using the
+			// executed sub-plans, then re-plan from the materialized
+			// intermediates. Both the refinement inference and the plan
+			// search count toward T_R (paper Eq. 8).
+			rctrl.ClearTrigger()
+			reoptStart := time.Now()
+			p, err = e.replan(q, cfg, rctrl)
+			res.ReoptTime += time.Since(reoptStart)
+			if err != nil {
+				return res, err
+			}
+			res.Reopts = rctrl.Reopts
+		}
+	}
+}
+
+// replan refines the remaining estimates and searches a new plan that may
+// resume from materialized intermediates or restart from scratch. With a
+// refiner, LPCE-R provides the refined estimates; otherwise the exact
+// cardinalities of the executed sub-plans are overlaid on the base
+// estimator.
+func (e *Engine) replan(q *query.Query, cfg Config, rctrl *reopt.Controller) (*plan.Node, error) {
+	var refined cardest.Estimator
+	if cfg.Refiner != nil {
+		var execs []core.ExecutedSub
+		for _, ex := range rctrl.ExecutedSubs() {
+			execs = append(execs, core.ExecutedSub{Node: ex.Node, Card: ex.Card})
+		}
+		refined = cfg.Refiner.Estimator(q, execs)
+	} else {
+		execs := rctrl.ExecutedSubs()
+		estimates := make(map[query.BitSet]float64, len(execs))
+		for _, ex := range execs {
+			estimates[ex.Mask] = cfg.Estimator.EstimateSubset(q, ex.Mask)
+		}
+		refined = reopt.NewOverlay(cfg.Estimator, execs, estimates)
+	}
+	opt := optimizer.New(e.DB, refined)
+	p, _, err := opt.PlanWithMaterialized(q, rctrl.Materialized())
+	return p, err
+}

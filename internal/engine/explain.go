@@ -1,0 +1,45 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/optimizer"
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+// Explain returns the plan the optimizer would choose for the query under
+// the given estimator, without executing it — the engine's EXPLAIN. The
+// rendering shows each operator with its estimated cardinality.
+func (e *Engine) Explain(q *query.Query, est cardest.Estimator) (string, error) {
+	opt := optimizer.New(e.DB, est)
+	p, stats, err := opt.Plan(q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "plan (estimator=%s, %d cardinality estimates, est. cost %.0f):\n",
+		est.Name(), stats.EstimateCalls, p.EstCost)
+	b.WriteString(p.String())
+	return b.String(), nil
+}
+
+// ExplainAnalyze executes the query and returns the final plan annotated
+// with true cardinalities plus the end-to-end time decomposition — the
+// engine's EXPLAIN ANALYZE, and the paper's source of training labels.
+func (e *Engine) ExplainAnalyze(q *query.Query, cfg Config) (string, Result, error) {
+	res, err := e.Execute(q, cfg)
+	if err != nil {
+		return "", res, err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "COUNT(*) = %d\n", res.Count)
+	if res.TimedOut {
+		b.WriteString("WARNING: execution exceeded the work budget (reported as timeout)\n")
+	}
+	fmt.Fprintf(&b, "planning %v · inference %v · re-optimization %v (%d rounds) · execution %v · total %v\n",
+		res.PlanTime, res.InferTime, res.ReoptTime, res.Reopts, res.ExecTime, res.Total())
+	b.WriteString(res.FinalPlan.String())
+	return b.String(), res, nil
+}

@@ -1,0 +1,61 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/histogram"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+func TestExplain(t *testing.T) {
+	db, _, _ := fixture(t)
+	e := New(db)
+	g := workload.NewGenerator(db, 191)
+	q := g.Query(3)
+	out, err := e.Explain(q, histogram.NewEstimator(db))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"plan (estimator=postgres", "cardinality estimates", "est="} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("explain output missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "true=") {
+		t.Fatal("EXPLAIN must not execute (no true cardinalities)")
+	}
+}
+
+func TestExplainAnalyze(t *testing.T) {
+	db, _, _ := fixture(t)
+	e := New(db)
+	g := workload.NewGenerator(db, 192)
+	q := g.Query(2)
+	out, res, err := e.ExplainAnalyze(q, Config{Estimator: histogram.NewEstimator(db)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != trueCount(t, db, q) {
+		t.Fatal("wrong count")
+	}
+	for _, frag := range []string{"COUNT(*) =", "planning", "execution", "true="} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("explain analyze missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestExplainAnalyzeTimeoutWarning(t *testing.T) {
+	db, _, _ := fixture(t)
+	e := New(db)
+	g := workload.NewGenerator(db, 193)
+	q := g.Query(4)
+	out, res, err := e.ExplainAnalyze(q, Config{Estimator: histogram.NewEstimator(db), Budget: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TimedOut || !strings.Contains(out, "WARNING") {
+		t.Fatal("timeout warning missing")
+	}
+}

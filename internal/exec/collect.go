@@ -1,0 +1,237 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// RunCollect executes the plan bottom-up, materializing every operator's
+// output and stamping TrueCard on every node. This is the training-sample
+// collector (the paper obtains per-node cardinalities via EXPLAIN ANALYZE);
+// joins always run hashed since cardinalities do not depend on the physical
+// operator. It returns the root cardinality.
+func RunCollect(ctx *Ctx, root *plan.Node) (int, error) {
+	rows, err := collect(ctx, root)
+	if err != nil {
+		return 0, err
+	}
+	return len(rows), nil
+}
+
+func collect(ctx *Ctx, n *plan.Node) ([][]int64, error) {
+	switch {
+	case n.Op == plan.MatScan:
+		n.TrueCard = float64(n.Mat.Card())
+		return n.Mat.Rows, nil
+	case n.IsLeaf():
+		return collectScan(ctx, n)
+	default:
+		l, err := collect(ctx, n.Left)
+		if err != nil {
+			return nil, err
+		}
+		r, err := collect(ctx, n.Right)
+		if err != nil {
+			return nil, err
+		}
+		return collectJoin(ctx, n, l, r)
+	}
+}
+
+func collectScan(ctx *Ctx, n *plan.Node) ([][]int64, error) {
+	t := ctx.DB.Table(n.Table)
+	var out [][]int64
+	nrows := t.NumRows()
+	width := len(t.Meta.Columns)
+	for r := 0; r < nrows; r++ {
+		if err := ctx.charge(1); err != nil {
+			return nil, err
+		}
+		if !rowMatches(t, r, n.Preds) {
+			continue
+		}
+		row := make([]int64, width)
+		for c := 0; c < width; c++ {
+			row[c] = t.Cols[c][r]
+		}
+		out = append(out, row)
+	}
+	n.TrueCard = float64(len(out))
+	return out, nil
+}
+
+func collectJoin(ctx *Ctx, n *plan.Node, left, right [][]int64) ([][]int64, error) {
+	conds, err := resolveConds(ctx.Q, n.JoinConds, n.Left.Tables, n.Right.Tables)
+	if err != nil {
+		return nil, err
+	}
+	merge := newJoinMerge(ctx.Q, n.Left.Tables, n.Right.Tables)
+
+	// build on the smaller side for speed; swap offsets if we build left
+	build, probe := right, left
+	buildRight := true
+	if len(left) < len(right) {
+		build, probe = left, right
+		buildRight = false
+	}
+	table := make(map[uint64][][]int64, len(build))
+	key := make([]int64, len(conds))
+	for _, row := range build {
+		for i, c := range conds {
+			if buildRight {
+				key[i] = row[c.rightOff]
+			} else {
+				key[i] = row[c.leftOff]
+			}
+		}
+		k := hashKey(key)
+		table[k] = append(table[k], row)
+		if err := ctx.charge(1); err != nil {
+			return nil, err
+		}
+	}
+	var out [][]int64
+	for _, row := range probe {
+		for i, c := range conds {
+			if buildRight {
+				key[i] = row[c.leftOff]
+			} else {
+				key[i] = row[c.rightOff]
+			}
+		}
+		if err := ctx.charge(1); err != nil {
+			return nil, err
+		}
+		for _, m := range table[hashKey(key)] {
+			if err := ctx.charge(1); err != nil {
+				return nil, err
+			}
+			l, r := row, m
+			if !buildRight {
+				l, r = m, row
+			}
+			match := true
+			for _, c := range conds {
+				if l[c.leftOff] != r[c.rightOff] {
+					match = false
+					break
+				}
+			}
+			if !match {
+				continue
+			}
+			t := merge.merge(nil, l, r)
+			// width-weighted charge: the budget bounds buffered memory
+			if err := ctx.charge(int64(len(t)) / 4); err != nil {
+				return nil, err
+			}
+			cp := make([]int64, len(t))
+			copy(cp, t)
+			out = append(out, cp)
+		}
+	}
+	n.TrueCard = float64(len(out))
+	return out, nil
+}
+
+// TrueCardOracle computes exact cardinalities for arbitrary table subsets
+// of a query by *pipelined* execution of the canonical left-deep plan —
+// only single-table hash builds are buffered, so memory stays bounded even
+// for huge results; a work budget bounds time. It is the ground-truth
+// estimator in accuracy experiments and tests. Results are memoized per
+// (query, subset).
+type TrueCardOracle struct {
+	DB *storage.Database
+	// Budget bounds the work per exact count; zero means unlimited.
+	// Experiment harnesses use TryEstimate with a budget to curate test
+	// queries whose true cardinality is computable (the paper analogously
+	// selects test queries by their PostgreSQL execution time).
+	Budget int64
+	cache  map[oracleKey]float64
+}
+
+type oracleKey struct {
+	q    *query.Query
+	mask query.BitSet
+}
+
+// NewTrueCardOracle returns an unbounded oracle over db.
+func NewTrueCardOracle(db *storage.Database) *TrueCardOracle {
+	return &TrueCardOracle{DB: db, cache: make(map[oracleKey]float64)}
+}
+
+// Name implements the estimator interface.
+func (o *TrueCardOracle) Name() string { return "oracle" }
+
+// TryEstimate returns the exact cardinality of joining the subset, or
+// ErrBudget when the count is not computable within the oracle's budget.
+func (o *TrueCardOracle) TryEstimate(q *query.Query, mask query.BitSet) (float64, error) {
+	if v, ok := o.cache[oracleKey{q, mask}]; ok {
+		return v, nil
+	}
+	node := CanonicalPlan(q, mask)
+	ctx := &Ctx{DB: o.DB, Q: q, Budget: o.Budget}
+	count, err := Run(ctx, node)
+	if err != nil {
+		return 0, err
+	}
+	v := float64(count)
+	o.cache[oracleKey{q, mask}] = v
+	return v, nil
+}
+
+// EstimateSubset returns the exact cardinality of joining the subset,
+// panicking if the oracle's budget is exceeded (callers curate queries via
+// TryEstimate first).
+func (o *TrueCardOracle) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
+	v, err := o.TryEstimate(q, mask)
+	if err != nil {
+		panic(fmt.Sprintf("exec: oracle failed: %v", err))
+	}
+	return v
+}
+
+// CanonicalPlan builds the canonical left-deep logical plan for a table
+// subset: relations joined in ascending local-index order, each new
+// relation attached with every join condition it shares with the prefix.
+// The learned estimators featurize subsets through this same canonical
+// shape, so one subset always maps to one feature sequence.
+func CanonicalPlan(q *query.Query, mask query.BitSet) *plan.Node {
+	idxs := mask.Indices()
+	if len(idxs) == 0 {
+		panic("exec: canonical plan of empty subset")
+	}
+	mk := func(i int) *plan.Node {
+		t := q.Tables[i]
+		return plan.NewLeaf(plan.SeqScan, t, i, q.PredsOn(t))
+	}
+	cur := mk(idxs[0])
+	covered := query.NewBitSet().Set(idxs[0])
+	remaining := append([]int(nil), idxs[1:]...)
+	for len(remaining) > 0 {
+		// pick the lowest-index remaining table connected to the prefix, so
+		// the canonical tree never contains cross products when the subset
+		// is connected
+		pick := -1
+		for pi, i := range remaining {
+			single := query.NewBitSet().Set(i)
+			if len(q.JoinsBetween(covered, single)) > 0 {
+				pick = pi
+				break
+			}
+		}
+		if pick == -1 {
+			pick = 0 // disconnected subset: accept a cross join
+		}
+		i := remaining[pick]
+		remaining = append(remaining[:pick], remaining[pick+1:]...)
+		single := query.NewBitSet().Set(i)
+		conds := q.JoinsBetween(covered, single)
+		cur = plan.NewJoin(plan.HashJoin, cur, mk(i), conds)
+		covered = covered.Set(i)
+	}
+	return cur
+}

@@ -1,0 +1,257 @@
+// Package exec implements the Volcano-style pipelined execution engine. It
+// mirrors the PostgreSQL behaviours the paper depends on (§6):
+//
+//   - pipelined processing: tuples flow through operators without
+//     materialization except at pipeline breakers;
+//   - pipeline breakers that buffer tuples: the build side of a hash join,
+//     both sorted inputs of a merge join, and (added by the paper, Figure
+//     10c) the outer side of a nested loop join;
+//   - checkpoints at those breakers: when a sub-plan's output has been
+//     fully buffered its exact cardinality is known, and a controller is
+//     notified so it can compare the actual cardinality against the
+//     optimizer's estimate and trigger re-optimization.
+//
+// Every operator counts its output rows, so a completed execution leaves
+// exact cardinalities (the paper's EXPLAIN ANALYZE counters) on the plan.
+package exec
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// Tuple is one intermediate-result row: the concatenated columns of the
+// covered tables in ascending local-index order (see plan.Layout).
+type Tuple = []int64
+
+// ErrBudget is returned when a query exceeds the context's work budget; the
+// engine reports such queries as timeouts instead of running pathological
+// plans for hours.
+var ErrBudget = errors.New("exec: work budget exceeded")
+
+// ReoptSignal is returned through the operator stack when the controller
+// decides to pause execution and re-optimize. It is an error value so it
+// unwinds the pipelined iterators without extra plumbing.
+type ReoptSignal struct {
+	Node   *plan.Node // sub-plan whose materialization triggered the signal
+	Actual int        // exact cardinality observed
+}
+
+func (r *ReoptSignal) Error() string {
+	return fmt.Sprintf("exec: re-optimization requested at %v (est %.0f, actual %d)",
+		r.Node.Op, r.Node.EstCard, r.Actual)
+}
+
+// Controller observes materialization checkpoints. OnMaterialized may
+// retain rows (they are not reused by the executor) and may return a
+// *ReoptSignal to pause execution.
+type Controller interface {
+	OnMaterialized(node *plan.Node, rows [][]int64) error
+}
+
+// NopController ignores all checkpoints (plain PostgreSQL behaviour).
+type NopController struct{}
+
+// OnMaterialized implements Controller.
+func (NopController) OnMaterialized(*plan.Node, [][]int64) error { return nil }
+
+// Ctx carries the per-execution state shared by all operators.
+type Ctx struct {
+	DB         *storage.Database
+	Q          *query.Query
+	Controller Controller
+	// Budget bounds the total work units (tuples scanned, probed, emitted);
+	// zero means unlimited.
+	Budget int64
+	work   int64
+}
+
+// charge consumes n work units, failing when the budget is exhausted.
+func (c *Ctx) charge(n int64) error {
+	c.work += n
+	if c.Budget > 0 && c.work > c.Budget {
+		return ErrBudget
+	}
+	return nil
+}
+
+// Work reports the consumed work units, a deterministic proxy for execution
+// effort used by tests.
+func (c *Ctx) Work() int64 { return c.work }
+
+// Operator is the Volcano iterator interface.
+type Operator interface {
+	Open(ctx *Ctx) error
+	Next(ctx *Ctx) (Tuple, bool, error)
+	Close()
+}
+
+// Build constructs the operator tree for a physical plan.
+func Build(ctx *Ctx, n *plan.Node) (Operator, error) {
+	switch n.Op {
+	case plan.SeqScan:
+		return newSeqScan(ctx, n), nil
+	case plan.IndexScan:
+		return newIndexScan(ctx, n)
+	case plan.MatScan:
+		return newMatScan(n), nil
+	case plan.HashJoin:
+		return newHashJoin(ctx, n)
+	case plan.MergeJoin:
+		return newMergeJoin(ctx, n)
+	case plan.NestLoopJoin:
+		return newNLJoin(ctx, n)
+	default:
+		return nil, fmt.Errorf("exec: unknown operator %v", n.Op)
+	}
+}
+
+// Run executes the plan and returns the COUNT(*) result. On a
+// *ReoptSignal or ErrBudget the error is returned with the rows counted so
+// far discarded.
+func Run(ctx *Ctx, root *plan.Node) (int, error) {
+	op, err := Build(ctx, root)
+	if err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	if err := op.Open(ctx); err != nil {
+		return 0, err
+	}
+	count := 0
+	for {
+		_, ok, err := op.Next(ctx)
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		count++
+	}
+	root.TrueCard = float64(count)
+	return count, nil
+}
+
+// drain pulls every tuple from a child operator into a buffer, counting
+// work, and stamps the child's true cardinality. It is the shared
+// materialization routine of the pipeline breakers.
+func drain(ctx *Ctx, node *plan.Node, op Operator) ([][]int64, error) {
+	if err := op.Open(ctx); err != nil {
+		return nil, err
+	}
+	var rows [][]int64
+	for {
+		t, ok, err := op.Next(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		// materialization cost scales with tuple width, which also keeps
+		// the work budget an effective bound on buffered memory
+		if err := ctx.charge(1 + int64(len(t))/4); err != nil {
+			return nil, err
+		}
+		cp := make([]int64, len(t))
+		copy(cp, t)
+		rows = append(rows, cp)
+	}
+	op.Close()
+	node.TrueCard = float64(len(rows))
+	return rows, nil
+}
+
+// checkpoint reports a completed materialization to the controller.
+func checkpoint(ctx *Ctx, node *plan.Node, rows [][]int64) error {
+	if ctx.Controller == nil {
+		return nil
+	}
+	return ctx.Controller.OnMaterialized(node, rows)
+}
+
+// joinMerge precomputes how to stitch a left tuple and a right tuple into
+// the output layout (tables in ascending local-index order).
+type joinMerge struct {
+	width int
+	segs  []mergeSeg
+}
+
+type mergeSeg struct {
+	fromLeft bool
+	srcOff   int
+	dstOff   int
+	n        int
+}
+
+func newJoinMerge(q *query.Query, left, right query.BitSet) joinMerge {
+	leftLayout := plan.NewLayout(q, left)
+	rightLayout := plan.NewLayout(q, right)
+	out := plan.NewLayout(q, left.Union(right))
+	var m joinMerge
+	m.width = out.Width()
+	for _, i := range left.Union(right).Indices() {
+		n := len(q.Tables[i].Columns)
+		if left.Has(i) {
+			m.segs = append(m.segs, mergeSeg{true, leftLayout.TableOffset(i), out.TableOffset(i), n})
+		} else {
+			m.segs = append(m.segs, mergeSeg{false, rightLayout.TableOffset(i), out.TableOffset(i), n})
+		}
+	}
+	return m
+}
+
+func (m joinMerge) merge(dst, l, r Tuple) Tuple {
+	if cap(dst) < m.width {
+		dst = make(Tuple, m.width)
+	}
+	dst = dst[:m.width]
+	for _, s := range m.segs {
+		src := r
+		if s.fromLeft {
+			src = l
+		}
+		copy(dst[s.dstOff:s.dstOff+s.n], src[s.srcOff:s.srcOff+s.n])
+	}
+	return dst
+}
+
+// condOffsets resolves a join condition's column offsets relative to the
+// left and right child layouts, swapping sides if needed.
+type condOffsets struct {
+	leftOff, rightOff int
+}
+
+func resolveConds(q *query.Query, conds []query.Join, left, right query.BitSet) ([]condOffsets, error) {
+	leftLayout := plan.NewLayout(q, left)
+	rightLayout := plan.NewLayout(q, right)
+	out := make([]condOffsets, len(conds))
+	for i, c := range conds {
+		li, ri := q.TableIndex(c.Left.Table), q.TableIndex(c.Right.Table)
+		switch {
+		case left.Has(li) && right.Has(ri):
+			out[i] = condOffsets{leftLayout.ColOffset(c.Left), rightLayout.ColOffset(c.Right)}
+		case left.Has(ri) && right.Has(li):
+			out[i] = condOffsets{leftLayout.ColOffset(c.Right), rightLayout.ColOffset(c.Left)}
+		default:
+			return nil, fmt.Errorf("exec: join condition %v does not span children", c)
+		}
+	}
+	return out, nil
+}
+
+// hashKey mixes the join-key values of a tuple into a single hash; matches
+// are verified value-by-value so collisions only cost time.
+func hashKey(vals []int64) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, v := range vals {
+		h ^= uint64(v)
+		h *= 1099511628211
+	}
+	return h
+}

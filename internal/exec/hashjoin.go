@@ -1,0 +1,130 @@
+package exec
+
+import "github.com/lpce-db/lpce/internal/plan"
+
+// hashJoin builds a hash table over its right (inner) child during Open —
+// a pipeline breaker with a checkpoint, matching Figure 10(a) of the paper
+// — then streams probe tuples from the left (outer) child.
+type hashJoin struct {
+	node  *plan.Node
+	left  Operator
+	right Operator
+
+	conds []condOffsets
+	merge joinMerge
+
+	table map[uint64][][]int64 // build rows grouped by key hash
+
+	// probe state
+	cur     Tuple // current left tuple
+	matches [][]int64
+	mi      int
+	out     Tuple
+	count   int
+}
+
+func newHashJoin(ctx *Ctx, n *plan.Node) (*hashJoin, error) {
+	l, err := Build(ctx, n.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Build(ctx, n.Right)
+	if err != nil {
+		return nil, err
+	}
+	conds, err := resolveConds(ctx.Q, n.JoinConds, n.Left.Tables, n.Right.Tables)
+	if err != nil {
+		return nil, err
+	}
+	return &hashJoin{
+		node: n, left: l, right: r,
+		conds: conds,
+		merge: newJoinMerge(ctx.Q, n.Left.Tables, n.Right.Tables),
+	}, nil
+}
+
+func (h *hashJoin) Open(ctx *Ctx) error {
+	// Build phase: drain and hash the inner side.
+	rows, err := drain(ctx, h.node.Right, h.right)
+	if err != nil {
+		return err
+	}
+	h.table = make(map[uint64][][]int64, len(rows))
+	key := make([]int64, len(h.conds))
+	for _, row := range rows {
+		for i, c := range h.conds {
+			key[i] = row[c.rightOff]
+		}
+		k := hashKey(key)
+		h.table[k] = append(h.table[k], row)
+		if err := ctx.charge(1); err != nil {
+			return err
+		}
+	}
+	// CHECK: the inner sub-plan is fully materialized; report its exact
+	// cardinality (paper Figure 10a).
+	if err := checkpoint(ctx, h.node.Right, rows); err != nil {
+		return err
+	}
+	if err := h.left.Open(ctx); err != nil {
+		return err
+	}
+	h.cur = nil
+	h.matches = nil
+	h.mi = 0
+	h.count = 0
+	return nil
+}
+
+func (h *hashJoin) Next(ctx *Ctx) (Tuple, bool, error) {
+	key := make([]int64, len(h.conds))
+	for {
+		// emit remaining matches for the current probe tuple
+		for h.mi < len(h.matches) {
+			row := h.matches[h.mi]
+			h.mi++
+			if err := ctx.charge(1); err != nil {
+				return nil, false, err
+			}
+			if !h.condsMatch(h.cur, row) {
+				continue // hash collision
+			}
+			h.out = h.merge.merge(h.out, h.cur, row)
+			h.count++
+			return h.out, true, nil
+		}
+		// advance the probe side
+		t, ok, err := h.left.Next(ctx)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			h.node.TrueCard = float64(h.count)
+			return nil, false, nil
+		}
+		if err := ctx.charge(1); err != nil {
+			return nil, false, err
+		}
+		h.cur = t
+		for i, c := range h.conds {
+			key[i] = t[c.leftOff]
+		}
+		h.matches = h.table[hashKey(key)]
+		h.mi = 0
+	}
+}
+
+func (h *hashJoin) condsMatch(l, r Tuple) bool {
+	for _, c := range h.conds {
+		if l[c.leftOff] != r[c.rightOff] {
+			return false
+		}
+	}
+	return true
+}
+
+func (h *hashJoin) Close() {
+	h.left.Close()
+	h.right.Close()
+	h.table = nil
+}

@@ -1,0 +1,190 @@
+package exec
+
+import (
+	"sort"
+
+	"github.com/lpce-db/lpce/internal/plan"
+)
+
+// mergeJoin sorts both inputs during Open — two pipeline breakers, each
+// with a checkpoint, matching Figure 10(b) of the paper — then merges the
+// sorted runs, emitting the cross product of each matching key group.
+type mergeJoin struct {
+	node  *plan.Node
+	left  Operator
+	right Operator
+
+	conds []condOffsets
+	merge joinMerge
+
+	lrows, rrows [][]int64
+	li, ri       int
+
+	// current matching group cross-product state
+	groupL, groupR [][]int64
+	gi, gj         int
+
+	out   Tuple
+	count int
+}
+
+func newMergeJoin(ctx *Ctx, n *plan.Node) (*mergeJoin, error) {
+	l, err := Build(ctx, n.Left)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Build(ctx, n.Right)
+	if err != nil {
+		return nil, err
+	}
+	conds, err := resolveConds(ctx.Q, n.JoinConds, n.Left.Tables, n.Right.Tables)
+	if err != nil {
+		return nil, err
+	}
+	return &mergeJoin{
+		node: n, left: l, right: r,
+		conds: conds,
+		merge: newJoinMerge(ctx.Q, n.Left.Tables, n.Right.Tables),
+	}, nil
+}
+
+func (m *mergeJoin) Open(ctx *Ctx) error {
+	var err error
+	m.lrows, err = drain(ctx, m.node.Left, m.left)
+	if err != nil {
+		return err
+	}
+	// charge the sort: n log n comparisons
+	if err := ctx.charge(sortCost(len(m.lrows))); err != nil {
+		return err
+	}
+	sort.Slice(m.lrows, func(i, j int) bool { return m.less(m.lrows[i], m.lrows[j], true) })
+	// CHECK after the outer sort completes (paper Figure 10b).
+	if err := checkpoint(ctx, m.node.Left, m.lrows); err != nil {
+		return err
+	}
+
+	m.rrows, err = drain(ctx, m.node.Right, m.right)
+	if err != nil {
+		return err
+	}
+	if err := ctx.charge(sortCost(len(m.rrows))); err != nil {
+		return err
+	}
+	sort.Slice(m.rrows, func(i, j int) bool { return m.less(m.rrows[i], m.rrows[j], false) })
+	// CHECK after the inner sort completes.
+	if err := checkpoint(ctx, m.node.Right, m.rrows); err != nil {
+		return err
+	}
+
+	m.li, m.ri = 0, 0
+	m.groupL, m.groupR = nil, nil
+	m.gi, m.gj = 0, 0
+	m.count = 0
+	return nil
+}
+
+func sortCost(n int) int64 {
+	if n <= 1 {
+		return 1
+	}
+	c := int64(n)
+	bits := int64(0)
+	for x := n; x > 1; x >>= 1 {
+		bits++
+	}
+	return c * bits
+}
+
+func (m *mergeJoin) less(a, b Tuple, left bool) bool {
+	for _, c := range m.conds {
+		off := c.rightOff
+		if left {
+			off = c.leftOff
+		}
+		if a[off] != b[off] {
+			return a[off] < b[off]
+		}
+	}
+	return false
+}
+
+// cmpKeys compares a left tuple's key with a right tuple's key.
+func (m *mergeJoin) cmpKeys(l, r Tuple) int {
+	for _, c := range m.conds {
+		lv, rv := l[c.leftOff], r[c.rightOff]
+		if lv < rv {
+			return -1
+		}
+		if lv > rv {
+			return 1
+		}
+	}
+	return 0
+}
+
+func (m *mergeJoin) Next(ctx *Ctx) (Tuple, bool, error) {
+	for {
+		// emit the cross product of the current key group
+		if m.gi < len(m.groupL) {
+			l := m.groupL[m.gi]
+			r := m.groupR[m.gj]
+			m.gj++
+			if m.gj >= len(m.groupR) {
+				m.gj = 0
+				m.gi++
+			}
+			if err := ctx.charge(1); err != nil {
+				return nil, false, err
+			}
+			m.out = m.merge.merge(m.out, l, r)
+			m.count++
+			return m.out, true, nil
+		}
+		// advance to the next matching key group
+		if m.li >= len(m.lrows) || m.ri >= len(m.rrows) {
+			m.node.TrueCard = float64(m.count)
+			return nil, false, nil
+		}
+		if err := ctx.charge(1); err != nil {
+			return nil, false, err
+		}
+		switch m.cmpKeys(m.lrows[m.li], m.rrows[m.ri]) {
+		case -1:
+			m.li++
+		case 1:
+			m.ri++
+		default:
+			// collect both key groups
+			l0, r0 := m.li, m.ri
+			for m.li < len(m.lrows) && m.sameKeySide(m.lrows[l0], m.lrows[m.li], true) {
+				m.li++
+			}
+			for m.ri < len(m.rrows) && m.sameKeySide(m.rrows[r0], m.rrows[m.ri], false) {
+				m.ri++
+			}
+			m.groupL = m.lrows[l0:m.li]
+			m.groupR = m.rrows[r0:m.ri]
+			m.gi, m.gj = 0, 0
+		}
+	}
+}
+
+func (m *mergeJoin) sameKeySide(a, b Tuple, left bool) bool {
+	for _, c := range m.conds {
+		off := c.rightOff
+		if left {
+			off = c.leftOff
+		}
+		if a[off] != b[off] {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *mergeJoin) Close() {
+	m.left.Close()
+	m.right.Close()
+	m.lrows, m.rrows = nil, nil
+}

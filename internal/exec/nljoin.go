@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// nlJoin is the nested loop join. Following the paper's Figure 10(c), the
+// outer (left) side is always materialized with a checkpoint — this is the
+// one materialization the paper *adds* to PostgreSQL (measured there at
+// +1.2% time / +5.8% memory, acceptable because NL join is only chosen for
+// small outer sides).
+//
+// Two inner strategies:
+//   - index path: when the inner child is a base-table scan and a join
+//     condition touches one of its columns, each outer tuple probes the
+//     table's hash index (PostgreSQL's index nested loop);
+//   - rescan path: otherwise the inner is materialized once and scanned
+//     per outer tuple (PostgreSQL's Materialize node under a nest loop).
+type nlJoin struct {
+	node  *plan.Node
+	left  Operator
+	right Operator // nil on the index path
+
+	conds []condOffsets
+	merge joinMerge
+
+	outer [][]int64
+	oi    int
+
+	// index path
+	idxTable   *storage.Table
+	idxCol     int // column position in the inner table driving the probe
+	idxCondOff int // offset of the probe value in the outer tuple
+	idxMatches []int32
+	mi         int
+	innerBuf   Tuple
+
+	// rescan path
+	inner [][]int64
+	ii    int
+
+	out   Tuple
+	count int
+}
+
+func newNLJoin(ctx *Ctx, n *plan.Node) (*nlJoin, error) {
+	l, err := Build(ctx, n.Left)
+	if err != nil {
+		return nil, err
+	}
+	conds, err := resolveConds(ctx.Q, n.JoinConds, n.Left.Tables, n.Right.Tables)
+	if err != nil {
+		return nil, err
+	}
+	j := &nlJoin{
+		node: n, left: l,
+		conds: conds,
+		merge: newJoinMerge(ctx.Q, n.Left.Tables, n.Right.Tables),
+	}
+	// Index path: inner is a base-table leaf and some equi-join condition
+	// lands on one of its columns.
+	if n.Right.IsLeaf() && n.Right.Op != plan.MatScan && len(conds) > 0 {
+		// A single-table layout starts at offset 0, so rightOff is directly
+		// the probe column's position within the inner table.
+		j.idxTable = ctx.DB.Table(n.Right.Table)
+		j.idxCol = conds[0].rightOff
+		j.idxCondOff = conds[0].leftOff
+		j.innerBuf = make(Tuple, len(n.Right.Table.Columns))
+		return j, nil
+	}
+	r, err := Build(ctx, n.Right)
+	if err != nil {
+		return nil, err
+	}
+	j.right = r
+	return j, nil
+}
+
+func (j *nlJoin) Open(ctx *Ctx) error {
+	// Materialize the outer side and CHECK it (paper Figure 10c).
+	rows, err := drain(ctx, j.node.Left, j.left)
+	if err != nil {
+		return err
+	}
+	j.outer = rows
+	if err := checkpoint(ctx, j.node.Left, rows); err != nil {
+		return err
+	}
+	if j.idxTable == nil {
+		// rescan path: buffer the inner once
+		j.inner, err = drain(ctx, j.node.Right, j.right)
+		if err != nil {
+			return err
+		}
+		if err := checkpoint(ctx, j.node.Right, j.inner); err != nil {
+			return err
+		}
+	}
+	j.oi, j.ii, j.mi = 0, 0, 0
+	j.idxMatches = nil
+	j.count = 0
+	return nil
+}
+
+func (j *nlJoin) Next(ctx *Ctx) (Tuple, bool, error) {
+	if j.idxTable != nil {
+		return j.nextIndex(ctx)
+	}
+	return j.nextRescan(ctx)
+}
+
+// nextIndex probes the inner table's hash index per outer tuple.
+func (j *nlJoin) nextIndex(ctx *Ctx) (Tuple, bool, error) {
+	for {
+		for j.mi < len(j.idxMatches) {
+			r := int(j.idxMatches[j.mi])
+			j.mi++
+			if err := ctx.charge(1); err != nil {
+				return nil, false, err
+			}
+			if !rowMatches(j.idxTable, r, j.node.Right.Preds) {
+				continue
+			}
+			for c := range j.innerBuf {
+				j.innerBuf[c] = j.idxTable.Cols[c][r]
+			}
+			cur := j.outer[j.oi-1]
+			if !j.extraCondsMatch(cur, j.innerBuf) {
+				continue
+			}
+			j.out = j.merge.merge(j.out, cur, j.innerBuf)
+			j.count++
+			return j.out, true, nil
+		}
+		if j.oi >= len(j.outer) {
+			j.node.TrueCard = float64(j.count)
+			return nil, false, nil
+		}
+		cur := j.outer[j.oi]
+		j.oi++
+		if err := ctx.charge(2); err != nil { // index probe
+			return nil, false, err
+		}
+		j.idxMatches = j.idxTable.HashIndex(j.idxCol).Lookup(cur[j.idxCondOff])
+		j.mi = 0
+	}
+}
+
+// extraCondsMatch verifies every join condition against an inner base-table
+// row (the index probe only guarantees the first condition).
+func (j *nlJoin) extraCondsMatch(outer, inner Tuple) bool {
+	for _, c := range j.conds {
+		// inner tuple is the bare table row, so rightOff is relative to the
+		// single-table layout which starts at 0.
+		if outer[c.leftOff] != inner[c.rightOff] {
+			return false
+		}
+	}
+	return true
+}
+
+// nextRescan runs the classic quadratic loop over two buffers.
+func (j *nlJoin) nextRescan(ctx *Ctx) (Tuple, bool, error) {
+	for {
+		if j.oi >= len(j.outer) {
+			j.node.TrueCard = float64(j.count)
+			return nil, false, nil
+		}
+		cur := j.outer[j.oi]
+		for j.ii < len(j.inner) {
+			row := j.inner[j.ii]
+			j.ii++
+			if err := ctx.charge(1); err != nil {
+				return nil, false, err
+			}
+			match := true
+			for _, c := range j.conds {
+				if cur[c.leftOff] != row[c.rightOff] {
+					match = false
+					break
+				}
+			}
+			if match {
+				j.out = j.merge.merge(j.out, cur, row)
+				j.count++
+				return j.out, true, nil
+			}
+		}
+		j.ii = 0
+		j.oi++
+	}
+}
+
+func (j *nlJoin) Close() {
+	j.left.Close()
+	if j.right != nil {
+		j.right.Close()
+	}
+	j.outer, j.inner = nil, nil
+}

@@ -1,0 +1,177 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// seqScan reads a base table row by row, applying the leaf's predicates.
+type seqScan struct {
+	node  *plan.Node
+	table *storage.Table
+	row   int
+	buf   Tuple
+	count int
+}
+
+func newSeqScan(ctx *Ctx, n *plan.Node) *seqScan {
+	return &seqScan{node: n, table: ctx.DB.Table(n.Table)}
+}
+
+func (s *seqScan) Open(*Ctx) error {
+	s.row = 0
+	s.count = 0
+	s.buf = make(Tuple, len(s.table.Meta.Columns))
+	return nil
+}
+
+func (s *seqScan) Next(ctx *Ctx) (Tuple, bool, error) {
+	n := s.table.NumRows()
+	for s.row < n {
+		r := s.row
+		s.row++
+		if err := ctx.charge(1); err != nil {
+			return nil, false, err
+		}
+		if !rowMatches(s.table, r, s.node.Preds) {
+			continue
+		}
+		for c := range s.buf {
+			s.buf[c] = s.table.Cols[c][r]
+		}
+		s.count++
+		return s.buf, true, nil
+	}
+	s.node.TrueCard = float64(s.count)
+	return nil, false, nil
+}
+
+func (s *seqScan) Close() {}
+
+// rowMatches evaluates all predicates on one physical row.
+func rowMatches(t *storage.Table, row int, preds []query.Predicate) bool {
+	for _, p := range preds {
+		if !p.Eval(t.Cols[p.Col.Pos][row]) {
+			return false
+		}
+	}
+	return true
+}
+
+// indexScan drives the scan from an ordered (range/equality) index on the
+// IndexPred column and applies the remaining predicates to each match.
+type indexScan struct {
+	node    *plan.Node
+	table   *storage.Table
+	rids    []int32
+	rest    []query.Predicate
+	pos     int
+	buf     Tuple
+	count   int
+	inLists [][]int32 // pre-resolved rid lists for IN predicates
+}
+
+func newIndexScan(ctx *Ctx, n *plan.Node) (*indexScan, error) {
+	if n.IndexPred == nil {
+		return nil, fmt.Errorf("exec: IndexScan on %s without an index predicate", n.Table.Name)
+	}
+	return &indexScan{node: n, table: ctx.DB.Table(n.Table)}, nil
+}
+
+func (s *indexScan) Open(ctx *Ctx) error {
+	s.pos = 0
+	s.count = 0
+	s.buf = make(Tuple, len(s.table.Meta.Columns))
+	p := *s.node.IndexPred
+	s.rest = s.rest[:0]
+	for i := range s.node.Preds {
+		if &s.node.Preds[i] != s.node.IndexPred {
+			s.rest = append(s.rest, s.node.Preds[i])
+		}
+	}
+	// charge the index descent
+	if err := ctx.charge(16); err != nil {
+		return err
+	}
+	switch p.Op {
+	case query.OpEQ:
+		s.rids = s.table.HashIndex(p.Col.Pos).Lookup(p.Operand)
+	case query.OpIn:
+		ix := s.table.HashIndex(p.Col.Pos)
+		s.rids = s.rids[:0]
+		for _, v := range p.InSet {
+			s.rids = append(s.rids, ix.Lookup(v)...)
+		}
+	case query.OpLT:
+		s.rids = s.table.OrderedIndex(p.Col.Pos).Range(minInt64, p.Operand-1)
+	case query.OpLE:
+		s.rids = s.table.OrderedIndex(p.Col.Pos).Range(minInt64, p.Operand)
+	case query.OpGT:
+		s.rids = s.table.OrderedIndex(p.Col.Pos).Range(p.Operand+1, maxInt64)
+	case query.OpGE:
+		s.rids = s.table.OrderedIndex(p.Col.Pos).Range(p.Operand, maxInt64)
+	default:
+		return fmt.Errorf("exec: operator %v cannot drive an index scan", p.Op)
+	}
+	return nil
+}
+
+const (
+	minInt64 = int64(-1 << 63)
+	maxInt64 = int64(1<<63 - 1)
+)
+
+func (s *indexScan) Next(ctx *Ctx) (Tuple, bool, error) {
+	for s.pos < len(s.rids) {
+		r := int(s.rids[s.pos])
+		s.pos++
+		if err := ctx.charge(1); err != nil {
+			return nil, false, err
+		}
+		if !rowMatches(s.table, r, s.rest) {
+			continue
+		}
+		for c := range s.buf {
+			s.buf[c] = s.table.Cols[c][r]
+		}
+		s.count++
+		return s.buf, true, nil
+	}
+	s.node.TrueCard = float64(s.count)
+	return nil, false, nil
+}
+
+func (s *indexScan) Close() {}
+
+// matScan replays a materialized intermediate result (re-optimization
+// resume path).
+type matScan struct {
+	node *plan.Node
+	pos  int
+}
+
+func newMatScan(n *plan.Node) *matScan { return &matScan{node: n} }
+
+func (s *matScan) Open(*Ctx) error {
+	s.pos = 0
+	return nil
+}
+
+func (s *matScan) Next(ctx *Ctx) (Tuple, bool, error) {
+	rows := s.node.Mat.Rows
+	if s.pos >= len(rows) {
+		s.node.TrueCard = float64(len(rows))
+		return nil, false, nil
+	}
+	if err := ctx.charge(1); err != nil {
+		return nil, false, err
+	}
+	t := rows[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+func (s *matScan) Close() {}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/datadriven"
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// datadriven constructs the sampling-based substitutes for the data-driven
+// baselines (see the datadriven package's doc comment for the substitution
+// rationale).
+func datadrivenFor(db *storage.Database, kind string, p params, seed int64) cardest.Estimator {
+	switch kind {
+	case "neurocard":
+		return datadriven.NewJoinSample(db, p.walksNeuroCard, seed+11)
+	case "deepdb":
+		return datadriven.NewTableHist(db, seed+12)
+	case "flat":
+		return datadriven.NewFactorHist(db, p.walksFlat, seed+13)
+	default:
+		panic("experiments: unknown data-driven kind " + kind)
+	}
+}
+
+func newUAE(db *storage.Database, p params, seed int64) *datadriven.CalibratedSample {
+	return datadriven.NewCalibratedSample(db, p.walksUAE, seed+14)
+}
+
+// calibrateUAE feeds the hybrid estimator supervised feedback from the
+// training plans (UAE's "learning from queries" half): every plan node is
+// a (subset, true cardinality) example.
+func calibrateUAE(uae *datadriven.CalibratedSample, samples []core.Sample) {
+	var examples []datadriven.CalibrationExample
+	// A bounded subsample keeps calibration cheap; the per-join-count
+	// medians converge quickly.
+	for i, s := range samples {
+		if i >= 60 {
+			break
+		}
+		s.Plan.Walk(func(n *plan.Node) {
+			if n.TrueCard >= 0 && n.Tables.Count() >= 2 {
+				examples = append(examples, datadriven.CalibrationExample{
+					Query: s.Query, Mask: n.Tables, TrueCard: n.TrueCard,
+				})
+			}
+		})
+	}
+	uae.Calibrate(examples)
+}

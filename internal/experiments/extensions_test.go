@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtReopt(t *testing.T) {
+	e := env(t)
+	r, err := ExtReopt(e, "test", e.JoinHigh[:3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	if r.Rows[0].Reopts != 0 {
+		t.Fatal("the no-reopt strategy must not re-optimize")
+	}
+	for _, row := range r.Rows {
+		if row.TotalSec <= 0 {
+			t.Fatalf("%s: no time recorded", row.Name)
+		}
+	}
+	out := r.Render()
+	for _, frag := range []string{"overlay reopt", "LPCE-R", "cost-aware"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q", frag)
+		}
+	}
+}
+
+func TestExtTriggerSweep(t *testing.T) {
+	e := env(t)
+	r, err := ExtTriggerSweep(e, "test", e.JoinHigh[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// lower thresholds must trigger at least as often as higher ones
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i].Threshold < r.Rows[i-1].Threshold {
+			t.Fatal("thresholds not ascending")
+		}
+	}
+	if r.Rows[0].Reopts < r.Rows[len(r.Rows)-1].Reopts {
+		t.Fatal("lowest threshold should reopt at least as much as highest")
+	}
+	_ = r.Render()
+}
+
+func TestJobSuite(t *testing.T) {
+	e := env(t)
+	r, err := JobSuite(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no suite rows")
+	}
+	for _, row := range r.Rows {
+		if row.Postgres <= 0 || row.LPCEI <= 0 || row.LPCER <= 0 {
+			t.Fatalf("%s: missing timings", row.Name)
+		}
+	}
+	if !strings.Contains(r.Render(), "TOTAL") {
+		t.Fatal("render missing total row")
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lpce-db/lpce/internal/engine"
+	"github.com/lpce-db/lpce/internal/joblike"
+)
+
+// JobSuiteRow is one named query's end-to-end outcome per configuration.
+type JobSuiteRow struct {
+	Name     string
+	Joins    int
+	Count    int
+	Postgres float64 // seconds
+	LPCEI    float64
+	LPCER    float64
+	Reopts   int
+}
+
+// JobSuiteResult runs the fixed joblike benchmark suite (stable named
+// queries, unlike the random workloads) under the histogram baseline,
+// LPCE-I and LPCE-R. It is the repository's regression benchmark: per-query
+// rows are comparable across versions.
+type JobSuiteResult struct {
+	Rows []JobSuiteRow
+}
+
+// JobSuite executes the suite.
+func JobSuite(e *Env) (JobSuiteResult, error) {
+	queries, err := joblike.Queries(e.DB.Schema)
+	if err != nil {
+		return JobSuiteResult{}, err
+	}
+	eng := engine.New(e.DB)
+	var res JobSuiteResult
+	for _, name := range joblike.Names() {
+		q := queries[name]
+		row := JobSuiteRow{Name: name, Joins: q.NumJoins()}
+
+		pg, err := eng.Execute(q, engine.Config{Estimator: e.Histogram, Budget: e.P.budget})
+		if err != nil {
+			return res, fmt.Errorf("joblike %s (postgres): %w", name, err)
+		}
+		li, err := eng.Execute(q, engine.Config{Estimator: e.LPCEIEstimator(), Budget: e.P.budget})
+		if err != nil {
+			return res, fmt.Errorf("joblike %s (lpce-i): %w", name, err)
+		}
+		lr, err := eng.Execute(q, engine.Config{
+			Estimator: e.LPCEIEstimator(), Refiner: e.Refiner, Budget: e.P.budget,
+		})
+		if err != nil {
+			return res, fmt.Errorf("joblike %s (lpce-r): %w", name, err)
+		}
+		row.Count = pg.Count
+		row.Postgres = pg.Total().Seconds()
+		row.LPCEI = li.Total().Seconds()
+		row.LPCER = lr.Total().Seconds()
+		row.Reopts = lr.Reopts
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render formats the suite results.
+func (r JobSuiteResult) Render() string {
+	t := &Table{
+		Title:  "JOB-like named suite: per-query end-to-end time (regression benchmark)",
+		Header: []string{"Query", "Joins", "COUNT(*)", "PostgreSQL", "LPCE-I", "LPCE-R", "Reopts"},
+	}
+	var pgT, liT, lrT float64
+	for _, row := range r.Rows {
+		pgT += row.Postgres
+		liT += row.LPCEI
+		lrT += row.LPCER
+		t.AddRow(row.Name, fmt.Sprint(row.Joins), fmt.Sprint(row.Count),
+			FmtDur(row.Postgres), FmtDur(row.LPCEI), FmtDur(row.LPCER), fmt.Sprint(row.Reopts))
+	}
+	t.AddRow("TOTAL", "", "", FmtDur(pgT), FmtDur(liT), FmtDur(lrT), "")
+	return t.String()
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+// E2ESuite bundles the end-to-end runs over one query set; Table 2 and
+// Figures 11–14 all derive from it, so it is computed once per set.
+type E2ESuite struct {
+	Label   string
+	Queries []*query.Query
+	Runs    []E2EResults // Runs[0] is PostgreSQL
+}
+
+// RunSuite executes the full configuration matrix over a query set.
+func (e *Env) RunSuite(label string, queries []*query.Query) (*E2ESuite, error) {
+	runs, err := e.RunEndToEnd(queries)
+	if err != nil {
+		return nil, err
+	}
+	return &E2ESuite{Label: label, Queries: queries, Runs: runs}, nil
+}
+
+// Postgres returns the baseline run.
+func (s *E2ESuite) Postgres() E2EResults { return s.Runs[0] }
+
+// Table2Row is one estimator's reduction percentiles.
+type Table2Row struct {
+	Name string
+	Pcts []float64 // aligned with Table2Percentiles
+}
+
+// Table2Percentiles are the percentiles the paper reports.
+var Table2Percentiles = []float64{5, 25, 50, 75, 95}
+
+// Table2Result reproduces Table 2: percentiles of end-to-end execution
+// time reduction relative to PostgreSQL.
+type Table2Result struct {
+	Label string
+	Rows  []Table2Row
+}
+
+// Table2 derives the reduction table from a suite.
+func Table2(s *E2ESuite) Table2Result {
+	res := Table2Result{Label: s.Label}
+	for _, run := range s.Runs[1:] {
+		res.Rows = append(res.Rows, Table2Row{
+			Name: run.Name,
+			Pcts: ReductionPercentiles(s.Postgres(), run, Table2Percentiles),
+		})
+	}
+	return res
+}
+
+// Render formats the reduction table.
+func (r Table2Result) Render() string {
+	t := &Table{
+		Title:  fmt.Sprintf("Table 2 (%s): end-to-end time reduction vs PostgreSQL", r.Label),
+		Header: []string{"Estimator", "5th", "25th", "50th", "75th", "95th"},
+	}
+	for _, row := range r.Rows {
+		cells := []string{row.Name}
+		for _, v := range row.Pcts {
+			cells = append(cells, FmtPct(v))
+		}
+		t.AddRow(cells...)
+	}
+	return t.String()
+}
+
+// Figure11Result reproduces Figure 11: the spread of PostgreSQL execution
+// times over the test queries (the paper selects queries spanning 1s to
+// 1,500s; ours span the corresponding range at simulator scale).
+type Figure11Result struct {
+	Label  string
+	Totals []float64 // seconds, one per query
+}
+
+// Figure11 derives the distribution from a suite.
+func Figure11(s *E2ESuite) Figure11Result {
+	return Figure11Result{Label: s.Label, Totals: s.Postgres().Totals()}
+}
+
+// Render prints distribution statistics.
+func (r Figure11Result) Render() string {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 11 (%s): PostgreSQL end-to-end time distribution", r.Label),
+		Header: []string{"min", "p25", "median", "p75", "max", "mean"},
+	}
+	t.AddRow(
+		FmtDur(Percentile(r.Totals, 0)),
+		FmtDur(Percentile(r.Totals, 25)),
+		FmtDur(Percentile(r.Totals, 50)),
+		FmtDur(Percentile(r.Totals, 75)),
+		FmtDur(Percentile(r.Totals, 100)),
+		FmtDur(Mean(r.Totals)),
+	)
+	return t.String()
+}
+
+// Figure12Row decomposes one configuration's aggregate end-to-end time.
+type Figure12Row struct {
+	Name      string
+	ExecSec   float64
+	PlanSec   float64
+	InferSec  float64
+	ReoptSec  float64
+	TimeoutQs int
+}
+
+// Figure12Result reproduces Figure 12: the decomposition of aggregate
+// end-to-end time into query execution, plan search, initial inference and
+// re-optimization.
+type Figure12Result struct {
+	Label string
+	Rows  []Figure12Row
+}
+
+// Figure12 derives the decomposition from a suite.
+func Figure12(s *E2ESuite) Figure12Result {
+	res := Figure12Result{Label: s.Label}
+	for _, run := range s.Runs {
+		var row Figure12Row
+		row.Name = run.Name
+		for _, r := range run.Results {
+			row.ExecSec += r.ExecTime.Seconds()
+			row.PlanSec += r.PlanTime.Seconds()
+			row.InferSec += r.InferTime.Seconds()
+			row.ReoptSec += r.ReoptTime.Seconds()
+			if r.TimedOut {
+				row.TimeoutQs++
+			}
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render formats the decomposition.
+func (r Figure12Result) Render() string {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 12 (%s): end-to-end time decomposition (aggregate)", r.Label),
+		Header: []string{"Estimator", "Query execution", "Plan search", "Initial inference", "Reoptimization", "Total", "Timeouts"},
+	}
+	for _, row := range r.Rows {
+		total := row.ExecSec + row.PlanSec + row.InferSec + row.ReoptSec
+		t.AddRow(row.Name, FmtDur(row.ExecSec), FmtDur(row.PlanSec), FmtDur(row.InferSec),
+			FmtDur(row.ReoptSec), FmtDur(total), fmt.Sprint(row.TimeoutQs))
+	}
+	return t.String()
+}
+
+// Figure13Point is one query in the scatter plot: PostgreSQL end-to-end
+// time versus an estimator's end-to-end time.
+type Figure13Point struct {
+	Postgres float64
+	Method   float64
+}
+
+// Figure13Result reproduces Figure 13: per-query scatter series for every
+// learning-based configuration against PostgreSQL.
+type Figure13Result struct {
+	Label  string
+	Series map[string][]Figure13Point
+}
+
+// Figure13 derives the scatter series from a suite.
+func Figure13(s *E2ESuite) Figure13Result {
+	res := Figure13Result{Label: s.Label, Series: make(map[string][]Figure13Point)}
+	pg := s.Postgres().Totals()
+	for _, run := range s.Runs[1:] {
+		m := run.Totals()
+		pts := make([]Figure13Point, len(pg))
+		for i := range pg {
+			pts[i] = Figure13Point{Postgres: pg[i], Method: m[i]}
+		}
+		res.Series[run.Name] = pts
+	}
+	return res
+}
+
+// Render summarizes each scatter series (fractions below the diagonal and
+// the speedup distribution) since terminals cannot draw the plot; the raw
+// points are in Series for downstream plotting.
+func (r Figure13Result) Render() string {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 13 (%s): per-query end-to-end vs PostgreSQL (scatter summary)", r.Label),
+		Header: []string{"Estimator", "faster than PG", "median speedup", "p95 speedup", "worst slowdown"},
+	}
+	for _, run := range orderedSeries(r.Series) {
+		pts := r.Series[run]
+		var speedups []float64
+		faster := 0
+		worst := 1.0
+		for _, p := range pts {
+			if p.Method <= 0 || p.Postgres <= 0 {
+				continue
+			}
+			sp := p.Postgres / p.Method
+			speedups = append(speedups, sp)
+			if sp >= 1 {
+				faster++
+			} else if sp < worst {
+				worst = sp
+			}
+		}
+		t.AddRow(run,
+			fmt.Sprintf("%d/%d", faster, len(pts)),
+			FmtF(Percentile(speedups, 50))+"x",
+			FmtF(Percentile(speedups, 95))+"x",
+			FmtF(worst)+"x")
+	}
+	return t.String()
+}
+
+func orderedSeries(m map[string][]Figure13Point) []string {
+	order := []string{"DeepDB", "NeuroCard", "FLAT", "UAE", "MSCN", "Flow-Loss", "TLSTM", "LPCE-I", "LPCE-R"}
+	var out []string
+	for _, n := range order {
+		if _, ok := m[n]; ok {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Figure14Result reproduces Figure 14: for the queries that triggered
+// re-optimization under LPCE-R, the aggregate time decomposition of LPCE-I
+// (no re-optimization) versus LPCE-R.
+type Figure14Result struct {
+	Label          string
+	TriggeredCount int
+	LPCEI          Figure12Row
+	LPCER          Figure12Row
+	SpeedupFactor  float64 // LPCE-I total / LPCE-R total over the subset
+}
+
+// Figure14 derives the comparison from a suite.
+func Figure14(s *E2ESuite) Figure14Result {
+	res := Figure14Result{Label: s.Label}
+	var lpcei, lpcer *E2EResults
+	for i := range s.Runs {
+		switch s.Runs[i].Name {
+		case "LPCE-I":
+			lpcei = &s.Runs[i]
+		case "LPCE-R":
+			lpcer = &s.Runs[i]
+		}
+	}
+	if lpcei == nil || lpcer == nil {
+		return res
+	}
+	var totalI, totalR float64
+	for i := range lpcer.Results {
+		if lpcer.Results[i].Reopts == 0 {
+			continue
+		}
+		res.TriggeredCount++
+		ri, rr := lpcei.Results[i], lpcer.Results[i]
+		res.LPCEI.ExecSec += ri.ExecTime.Seconds()
+		res.LPCEI.PlanSec += ri.PlanTime.Seconds()
+		res.LPCEI.InferSec += ri.InferTime.Seconds()
+		res.LPCER.ExecSec += rr.ExecTime.Seconds()
+		res.LPCER.PlanSec += rr.PlanTime.Seconds()
+		res.LPCER.InferSec += rr.InferTime.Seconds()
+		res.LPCER.ReoptSec += rr.ReoptTime.Seconds()
+		totalI += ri.Total().Seconds()
+		totalR += rr.Total().Seconds()
+	}
+	res.LPCEI.Name = "LPCE-I"
+	res.LPCER.Name = "LPCE-R"
+	if totalR > 0 {
+		res.SpeedupFactor = totalI / totalR
+	}
+	return res
+}
+
+// Render formats the comparison.
+func (r Figure14Result) Render() string {
+	t := &Table{
+		Title: fmt.Sprintf("Figure 14 (%s): time decomposition for the %d re-optimized queries (speedup %.2fx)",
+			r.Label, r.TriggeredCount, r.SpeedupFactor),
+		Header: []string{"Config", "Query execution", "Plan search", "Model inference", "Reoptimization"},
+	}
+	for _, row := range []Figure12Row{r.LPCEI, r.LPCER} {
+		t.AddRow(row.Name, FmtDur(row.ExecSec), FmtDur(row.PlanSec), FmtDur(row.InferSec), FmtDur(row.ReoptSec))
+	}
+	return t.String()
+}
+
+// Figure15Result reproduces Figure 15: aggregate end-to-end time on
+// shallow (Join-three) queries, where data-driven estimators' accuracy
+// outweighs their inference cost and they can beat LPCE.
+type Figure15Result struct {
+	Label string
+	Rows  []Figure12Row
+}
+
+// Figure15 is Figure 12's decomposition applied to the shallow set.
+func Figure15(s *E2ESuite) Figure15Result {
+	d := Figure12(s)
+	return Figure15Result{Label: s.Label, Rows: d.Rows}
+}
+
+// Render formats the aggregate totals.
+func (r Figure15Result) Render() string {
+	t := &Table{
+		Title:  fmt.Sprintf("Figure 15 (%s): aggregate end-to-end time on shallow joins", r.Label),
+		Header: []string{"Estimator", "Total", "Execution", "Inference"},
+	}
+	for _, row := range r.Rows {
+		total := row.ExecSec + row.PlanSec + row.InferSec + row.ReoptSec
+		t.AddRow(row.Name, FmtDur(total), FmtDur(row.ExecSec), FmtDur(row.InferSec))
+	}
+	return t.String()
+}

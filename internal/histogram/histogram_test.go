@@ -1,0 +1,185 @@
+package histogram
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/testutil"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+// trueSel counts the actual fraction of rows satisfying p.
+func trueSel(p query.Predicate) float64 {
+	db := testutil.TinyDB()
+	tab := db.Table(p.Col.Table)
+	col := tab.Col(p.Col.Pos)
+	n := 0
+	for _, v := range col {
+		if p.Eval(v) {
+			n++
+		}
+	}
+	return float64(n) / float64(len(col))
+}
+
+func TestSingleColumnSelectivityAccuracy(t *testing.T) {
+	db := testutil.TinyDB()
+	s := Analyze(db)
+	title := db.Schema.Table("title")
+	cases := []query.Predicate{
+		{Col: title.Column("production_year"), Op: query.OpLT, Operand: 1975},
+		{Col: title.Column("production_year"), Op: query.OpGE, Operand: 1990},
+		{Col: title.Column("kind_id"), Op: query.OpEQ, Operand: 0},
+		{Col: title.Column("kind_id"), Op: query.OpIn, InSet: []int64{0, 1}},
+		{Col: title.Column("season_nr"), Op: query.OpEQ, Operand: 0},
+		{Col: title.Column("phonetic_code"), Op: query.OpLE, Operand: 500},
+		{Col: title.Column("kind_id"), Op: query.OpNE, Operand: 0},
+		{Col: title.Column("id"), Op: query.OpGT, Operand: 150},
+	}
+	for _, p := range cases {
+		want := trueSel(p)
+		got := s.Selectivity(p)
+		// single-column histograms should be within a small additive error
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("%s: estimated %.3f, actual %.3f", p, got, want)
+		}
+	}
+}
+
+func TestSelectivityBounds(t *testing.T) {
+	db := testutil.TinyDB()
+	s := Analyze(db)
+	g := workload.NewGenerator(db, 31)
+	for i := 0; i < 60; i++ {
+		q := g.Query(2)
+		for _, p := range q.Preds {
+			sel := s.Selectivity(p)
+			if sel < 0 || sel > 1 || math.IsNaN(sel) {
+				t.Fatalf("selectivity %v out of range for %s", sel, p)
+			}
+		}
+	}
+}
+
+func TestSingleTableEstimates(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEstimator(db)
+	g := workload.NewGenerator(db, 32)
+	oracleQ := func(q *query.Query, mask query.BitSet) float64 {
+		i := mask.First()
+		tab := db.Table(q.Tables[i])
+		n := 0
+		for r := 0; r < tab.NumRows(); r++ {
+			ok := true
+			for _, p := range q.PredsOn(q.Tables[i]) {
+				if !p.Eval(tab.Col(p.Col.Pos)[r]) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				n++
+			}
+		}
+		return float64(n)
+	}
+	var worstQ float64 = 1
+	for i := 0; i < 30; i++ {
+		q := g.Query(1)
+		for ti := range q.Tables {
+			mask := query.NewBitSet().Set(ti)
+			want := oracleQ(q, mask)
+			got := e.EstimateSubset(q, mask)
+			qerr := qerror(want, got)
+			if qerr > worstQ {
+				worstQ = qerr
+			}
+		}
+	}
+	// single-table estimates should rarely be off by more than ~30x even
+	// with multi-predicate independence errors on correlated columns
+	if worstQ > 100 {
+		t.Fatalf("worst single-table q-error = %.1f, histogram is broken", worstQ)
+	}
+}
+
+func qerror(a, b float64) float64 {
+	if a < 1 {
+		a = 1
+	}
+	if b < 1 {
+		b = 1
+	}
+	if a > b {
+		return a / b
+	}
+	return b / a
+}
+
+func TestJoinEstimateSanity(t *testing.T) {
+	db := testutil.TinyDB()
+	e := NewEstimator(db)
+	g := workload.NewGenerator(db, 33)
+	for i := 0; i < 20; i++ {
+		q := g.Query(2)
+		est := e.EstimateSubset(q, q.AllTablesMask())
+		if est < 1 || math.IsNaN(est) || math.IsInf(est, 0) {
+			t.Fatalf("join estimate %v invalid", est)
+		}
+	}
+}
+
+func TestDeepJoinsUnderestimated(t *testing.T) {
+	// On correlated, skewed data the independence assumption should
+	// produce large errors for deep joins — the phenomenon motivating the
+	// paper. We check that errors grow with join count on average.
+	db := testutil.TinyDB()
+	e := NewEstimator(db)
+	g := workload.NewGenerator(db, 34)
+
+	meanLogQ := func(joins, n int) float64 {
+		var sum float64
+		cnt := 0
+		oracle := exec.NewTrueCardOracle(db)
+		for i := 0; i < n; i++ {
+			q := g.Query(joins)
+			want := oracle.EstimateSubset(q, q.AllTablesMask())
+			got := e.EstimateSubset(q, q.AllTablesMask())
+			sum += math.Log(qerror(want, got))
+			cnt++
+		}
+		return sum / float64(cnt)
+	}
+	shallow := meanLogQ(1, 8)
+	deep := meanLogQ(4, 8)
+	if deep <= shallow {
+		t.Logf("warning: deep joins (%.2f) not worse than shallow (%.2f) on this sample", deep, shallow)
+	}
+	if deep < 0.1 {
+		t.Fatalf("histogram estimator is implausibly accurate on 4-join queries (mean log q = %.3f)", deep)
+	}
+}
+
+func TestMCVExactForHeavyHitters(t *testing.T) {
+	db := testutil.TinyDB()
+	s := Analyze(db)
+	kind := db.Schema.Table("title").Column("kind_id")
+	cs := s.Col(kind)
+	if cs == nil || len(cs.MCVVals) == 0 {
+		t.Fatal("kind_id should have MCVs")
+	}
+	// with 7 distinct values everything is an MCV, so eq estimates are exact
+	p := query.Predicate{Col: kind, Op: query.OpEQ, Operand: 0}
+	if math.Abs(s.Selectivity(p)-trueSel(p)) > 1e-9 {
+		t.Fatal("MCV selectivity should be exact for low-NDV columns")
+	}
+}
+
+func TestEstimatorName(t *testing.T) {
+	db := testutil.TinyDB()
+	if NewEstimator(db).Name() != "postgres" {
+		t.Fatal("name")
+	}
+}

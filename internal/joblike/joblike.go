@@ -1,0 +1,105 @@
+// Package joblike provides a fixed, named benchmark query suite over the
+// IMDB-lite schema, in the spirit of the Join Order Benchmark (JOB) the
+// paper's evaluation methodology descends from: hand-written queries
+// organised in families, each family probing one estimation pathology —
+// correlated predicates, skewed fan-outs, fact-to-fact joins, deep chains.
+// Unlike the random workload generator, these queries are stable across
+// versions, so regressions in estimator accuracy or plan quality show up
+// as diffs.
+package joblike
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/sqlparse"
+)
+
+// SQL maps query names to their SQL text. Families:
+//
+//	1x — single-join warm-ups
+//	2x — correlated-predicate probes (kind↔year, year↔info, kind↔keyword)
+//	3x — skew probes (popular-movie fan-out)
+//	4x — fact-to-fact joins (derived FK-FK edges)
+//	5x — deep chains and stars (6–8 joins)
+var SQL = map[string]string{
+	// --- family 1: warm-ups ---
+	"1a": `SELECT COUNT(*) FROM title, movie_keyword WHERE movie_keyword.movie_id = title.id AND title.production_year > 1995`,
+	"1b": `SELECT COUNT(*) FROM title, cast_info WHERE cast_info.movie_id = title.id AND cast_info.role_id = 0`,
+	"1c": `SELECT COUNT(*) FROM title, movie_companies WHERE movie_companies.movie_id = title.id AND title.kind_id = 1`,
+	"1d": `SELECT COUNT(*) FROM title, movie_info WHERE movie_info.movie_id = title.id AND movie_info.info_type_id = 7`,
+
+	// --- family 2: correlated predicates ---
+	"2a": `SELECT COUNT(*) FROM title, movie_keyword WHERE movie_keyword.movie_id = title.id AND title.kind_id = 0 AND movie_keyword.keyword_id < 40`,
+	"2b": `SELECT COUNT(*) FROM title, movie_info WHERE movie_info.movie_id = title.id AND title.production_year < 1960 AND movie_info.info > 2000`,
+	"2c": `SELECT COUNT(*) FROM title, movie_info_idx WHERE movie_info_idx.movie_id = title.id AND title.production_year >= 1990 AND movie_info_idx.info >= 1500`,
+	"2d": `SELECT COUNT(*) FROM title, cast_info WHERE cast_info.movie_id = title.id AND title.kind_id IN (4, 5, 6) AND title.season_nr > 10`,
+	"2e": `SELECT COUNT(*) FROM title, movie_keyword, keyword WHERE movie_keyword.movie_id = title.id AND movie_keyword.keyword_id = keyword.id AND title.kind_id = 2 AND keyword.phonetic_code < 500`,
+
+	// --- family 3: skewed fan-outs ---
+	"3a": `SELECT COUNT(*) FROM title, cast_info WHERE cast_info.movie_id = title.id AND title.production_year > 2000`,
+	"3b": `SELECT COUNT(*) FROM title, cast_info, movie_keyword WHERE cast_info.movie_id = title.id AND movie_keyword.movie_id = title.id AND title.production_year >= 1998`,
+	"3c": `SELECT COUNT(*) FROM title, movie_companies, company_name WHERE movie_companies.movie_id = title.id AND movie_companies.company_id = company_name.id AND company_name.country_code = 0 AND title.production_year > 1990`,
+	"3d": `SELECT COUNT(*) FROM title, cast_info, name WHERE cast_info.movie_id = title.id AND cast_info.person_id = name.id AND name.gender = 1 AND cast_info.role_id <= 2`,
+
+	// --- family 4: fact-to-fact joins (FK-FK) ---
+	"4a": `SELECT COUNT(*) FROM movie_keyword, movie_companies WHERE movie_keyword.movie_id = movie_companies.movie_id AND movie_keyword.keyword_id < 25`,
+	"4b": `SELECT COUNT(*) FROM movie_info, movie_info_idx WHERE movie_info.movie_id = movie_info_idx.movie_id AND movie_info.info_type_id = 3 AND movie_info_idx.info_type_id = 5`,
+	"4c": `SELECT COUNT(*) FROM cast_info, movie_keyword WHERE cast_info.movie_id = movie_keyword.movie_id AND cast_info.role_id = 1 AND movie_keyword.keyword_id < 15`,
+
+	// --- family 5: deep chains and stars ---
+	"5a": `SELECT COUNT(*) FROM title, movie_keyword, keyword, movie_companies, company_name
+	       WHERE movie_keyword.movie_id = title.id AND movie_keyword.keyword_id = keyword.id
+	         AND movie_companies.movie_id = title.id AND movie_companies.company_id = company_name.id
+	         AND title.production_year > 1985 AND company_name.country_code IN (0, 1)`,
+	"5b": `SELECT COUNT(*) FROM title, cast_info, name, char_name, role_type
+	       WHERE cast_info.movie_id = title.id AND cast_info.person_id = name.id
+	         AND cast_info.person_role_id = char_name.id AND cast_info.role_id = role_type.id
+	         AND title.kind_id = 0 AND name.gender = 0`,
+	"5c": `SELECT COUNT(*) FROM title, movie_info, info_type, movie_keyword, keyword, kind_type
+	       WHERE movie_info.movie_id = title.id AND movie_info.info_type_id = info_type.id
+	         AND movie_keyword.movie_id = title.id AND movie_keyword.keyword_id = keyword.id
+	         AND title.kind_id = kind_type.id
+	         AND title.production_year >= 1970 AND movie_info.info < 900`,
+	"5d": `SELECT COUNT(*) FROM title, cast_info, movie_companies, movie_info, movie_keyword
+	       WHERE cast_info.movie_id = title.id AND movie_companies.movie_id = title.id
+	         AND movie_info.movie_id = title.id AND movie_keyword.movie_id = title.id
+	         AND title.production_year > 2005 AND cast_info.role_id = 0`,
+	"5e": `SELECT COUNT(*) FROM title, cast_info, name, movie_keyword, keyword, movie_companies, company_name
+	       WHERE cast_info.movie_id = title.id AND cast_info.person_id = name.id
+	         AND movie_keyword.movie_id = title.id AND movie_keyword.keyword_id = keyword.id
+	         AND movie_companies.movie_id = title.id AND movie_companies.company_id = company_name.id
+	         AND title.kind_id = 0 AND name.gender = 1 AND company_name.country_code = 0
+	         AND title.production_year >= 1995`,
+	"5f": `SELECT COUNT(*) FROM title, cast_info, name, char_name, movie_info, info_type, movie_keyword, keyword
+	       WHERE cast_info.movie_id = title.id AND cast_info.person_id = name.id
+	         AND cast_info.person_role_id = char_name.id
+	         AND movie_info.movie_id = title.id AND movie_info.info_type_id = info_type.id
+	         AND movie_keyword.movie_id = title.id AND movie_keyword.keyword_id = keyword.id
+	         AND title.production_year > 1990 AND cast_info.role_id <= 1 AND keyword.phonetic_code < 300`,
+}
+
+// Names returns the query names in stable sorted order.
+func Names() []string {
+	out := make([]string, 0, len(SQL))
+	for n := range SQL {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Queries parses the whole suite against the schema, keyed by name.
+func Queries(schema *catalog.Schema) (map[string]*query.Query, error) {
+	out := make(map[string]*query.Query, len(SQL))
+	for name, sql := range SQL {
+		q, err := sqlparse.Parse(schema, sql)
+		if err != nil {
+			return nil, fmt.Errorf("joblike: query %s: %w", name, err)
+		}
+		out[name] = q
+	}
+	return out, nil
+}

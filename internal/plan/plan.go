@@ -1,0 +1,244 @@
+// Package plan defines physical execution plans: binary join trees whose
+// leaves scan base tables (or, after a re-optimization, materialized
+// intermediate results) and whose internal nodes are hash, merge, or nested
+// loop joins. Plans carry the optimizer's cardinality and cost annotations
+// and, after instrumented execution, the true cardinalities used to train
+// the learned estimators.
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+// PhysOp identifies the physical operator of a plan node.
+type PhysOp int
+
+// Physical operators. The engine mirrors PostgreSQL's operator set for
+// SPJA queries: two scan methods and three join methods.
+const (
+	SeqScan PhysOp = iota
+	IndexScan
+	MatScan // scan of a materialized intermediate (re-optimization resume)
+	HashJoin
+	MergeJoin
+	NestLoopJoin
+)
+
+func (op PhysOp) String() string {
+	switch op {
+	case SeqScan:
+		return "SeqScan"
+	case IndexScan:
+		return "IndexScan"
+	case MatScan:
+		return "MatScan"
+	case HashJoin:
+		return "HashJoin"
+	case MergeJoin:
+		return "MergeJoin"
+	case NestLoopJoin:
+		return "NestLoopJoin"
+	default:
+		return fmt.Sprintf("PhysOp(%d)", int(op))
+	}
+}
+
+// IsJoin reports whether the operator is one of the three join methods.
+func (op PhysOp) IsJoin() bool { return op >= HashJoin }
+
+// Materialized holds the buffered output of an executed sub-plan, keyed by
+// the table subset it covers. Re-optimized plans scan these instead of
+// recomputing the executed work (paper §6.2).
+type Materialized struct {
+	Tables query.BitSet
+	Rows   [][]int64
+}
+
+// Card returns the exact cardinality of the materialized result.
+func (m *Materialized) Card() int { return len(m.Rows) }
+
+// Node is one operator of a physical plan.
+type Node struct {
+	Op PhysOp
+
+	// Leaf fields (SeqScan / IndexScan / MatScan).
+	Table     *catalog.Table
+	Preds     []query.Predicate
+	IndexPred *query.Predicate // the predicate driving an IndexScan
+	Mat       *Materialized
+
+	// Join fields.
+	Left, Right *Node
+	JoinConds   []query.Join
+
+	// Tables is the subset of the query's relations this node covers.
+	Tables query.BitSet
+
+	// Optimizer annotations.
+	EstCard float64
+	EstCost float64
+
+	// TrueCard is filled by instrumented execution (counters at every
+	// operator, the paper's EXPLAIN ANALYZE analogue); -1 when unknown.
+	TrueCard float64
+}
+
+// NewLeaf builds a scan leaf covering the single table at local index idx.
+func NewLeaf(op PhysOp, t *catalog.Table, idx int, preds []query.Predicate) *Node {
+	return &Node{Op: op, Table: t, Preds: preds, Tables: query.NewBitSet().Set(idx), TrueCard: -1}
+}
+
+// NewMatLeaf builds a leaf scanning a materialized intermediate.
+func NewMatLeaf(m *Materialized) *Node {
+	return &Node{Op: MatScan, Mat: m, Tables: m.Tables, EstCard: float64(m.Card()), TrueCard: float64(m.Card())}
+}
+
+// NewJoin builds a join node over two children.
+func NewJoin(op PhysOp, left, right *Node, conds []query.Join) *Node {
+	return &Node{
+		Op: op, Left: left, Right: right, JoinConds: conds,
+		Tables: left.Tables.Union(right.Tables), TrueCard: -1,
+	}
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Walk visits the subtree in post-order (left, right, node), the order in
+// which a bottom-up executor completes operators; LPCE-R's "first k
+// executed operators" prefixes follow this order.
+func (n *Node) Walk(visit func(*Node)) {
+	if n == nil {
+		return
+	}
+	n.Left.Walk(visit)
+	n.Right.Walk(visit)
+	visit(n)
+}
+
+// Nodes returns the subtree's nodes in post-order.
+func (n *Node) Nodes() []*Node {
+	var out []*Node
+	n.Walk(func(x *Node) { out = append(out, x) })
+	return out
+}
+
+// NumNodes returns the operator count of the subtree.
+func (n *Node) NumNodes() int {
+	c := 0
+	n.Walk(func(*Node) { c++ })
+	return c
+}
+
+// Depth returns the height of the subtree (a single leaf has depth 1).
+func (n *Node) Depth() int {
+	if n == nil {
+		return 0
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if r > l {
+		l = r
+	}
+	return l + 1
+}
+
+// Clone deep-copies the plan tree. Materialized payloads are shared, not
+// copied.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	cp := *n
+	cp.Left = n.Left.Clone()
+	cp.Right = n.Right.Clone()
+	cp.Preds = append([]query.Predicate(nil), n.Preds...)
+	cp.JoinConds = append([]query.Join(nil), n.JoinConds...)
+	return &cp
+}
+
+// String renders the plan as an indented tree for logs and examples.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.render(&b, 0)
+	return b.String()
+}
+
+func (n *Node) render(b *strings.Builder, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch {
+	case n.Op.IsJoin():
+		fmt.Fprintf(b, "%s%s", indent, n.Op)
+		for _, j := range n.JoinConds {
+			fmt.Fprintf(b, " [%s]", j)
+		}
+	case n.Op == MatScan:
+		fmt.Fprintf(b, "%sMatScan(subset=%b, rows=%d)", indent, uint32(n.Mat.Tables), n.Mat.Card())
+	default:
+		fmt.Fprintf(b, "%s%s(%s", indent, n.Op, n.Table.Name)
+		for _, p := range n.Preds {
+			fmt.Fprintf(b, " %s", p)
+		}
+		b.WriteString(")")
+	}
+	fmt.Fprintf(b, " est=%.0f", n.EstCard)
+	if n.TrueCard >= 0 {
+		fmt.Fprintf(b, " true=%.0f", n.TrueCard)
+	}
+	b.WriteString("\n")
+	if n.Left != nil {
+		n.Left.render(b, depth+1)
+	}
+	if n.Right != nil {
+		n.Right.render(b, depth+1)
+	}
+}
+
+// Layout maps columns to offsets within the tuples produced by a node that
+// covers a given table subset. Tuples are the concatenation of the covered
+// tables' rows in ascending local-index order.
+type Layout struct {
+	q       *query.Query
+	offsets map[int]int // local table index -> starting offset
+	width   int
+}
+
+// NewLayout computes the tuple layout for the subset mask of query q.
+func NewLayout(q *query.Query, mask query.BitSet) *Layout {
+	l := &Layout{q: q, offsets: make(map[int]int)}
+	for _, i := range mask.Indices() {
+		l.offsets[i] = l.width
+		l.width += len(q.Tables[i].Columns)
+	}
+	return l
+}
+
+// Width returns the tuple width in columns.
+func (l *Layout) Width() int { return l.width }
+
+// TableOffset returns the starting offset of the table at local index i.
+func (l *Layout) TableOffset(i int) int {
+	off, ok := l.offsets[i]
+	if !ok {
+		panic(fmt.Sprintf("plan: table index %d not in layout", i))
+	}
+	return off
+}
+
+// ColOffset returns the tuple offset of column c.
+func (l *Layout) ColOffset(c *catalog.Column) int {
+	idx := l.q.TableIndex(c.Table)
+	if idx < 0 {
+		panic(fmt.Sprintf("plan: column %s not in query", c.QualifiedName()))
+	}
+	return l.TableOffset(idx) + c.Pos
+}
+
+// HasTable reports whether the layout covers local table index i.
+func (l *Layout) HasTable(i int) bool {
+	_, ok := l.offsets[i]
+	return ok
+}

@@ -1,0 +1,155 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+func fixture() (*catalog.Schema, *query.Query) {
+	s := catalog.NewSchema()
+	a := s.AddTable("a", catalog.PK("id"), catalog.Attr("x"))
+	b := s.AddTable("b", catalog.FK("a_id", a.Column("id")), catalog.Attr("y"))
+	c := s.AddTable("c", catalog.FK("b_y", b.Column("y")))
+	q := query.New(
+		[]*catalog.Table{a, b, c},
+		[]query.Join{
+			{Left: b.Column("a_id"), Right: a.Column("id")},
+			{Left: c.Column("b_y"), Right: b.Column("y")},
+		},
+		[]query.Predicate{{Col: a.Column("x"), Op: query.OpLT, Operand: 3}},
+	)
+	return s, q
+}
+
+func buildTree(q *query.Query) *Node {
+	la := NewLeaf(SeqScan, q.Tables[0], 0, q.PredsOn(q.Tables[0]))
+	lb := NewLeaf(IndexScan, q.Tables[1], 1, nil)
+	lc := NewLeaf(SeqScan, q.Tables[2], 2, nil)
+	ab := NewJoin(HashJoin, la, lb, q.Joins[:1])
+	return NewJoin(MergeJoin, ab, lc, q.Joins[1:])
+}
+
+func TestTreeShape(t *testing.T) {
+	_, q := fixture()
+	root := buildTree(q)
+	if root.NumNodes() != 5 {
+		t.Fatalf("nodes = %d", root.NumNodes())
+	}
+	if root.Depth() != 3 {
+		t.Fatalf("depth = %d", root.Depth())
+	}
+	if !root.Tables.Has(0) || !root.Tables.Has(1) || !root.Tables.Has(2) {
+		t.Fatalf("root covers %b", uint32(root.Tables))
+	}
+	if root.IsLeaf() || !root.Left.Left.IsLeaf() {
+		t.Fatal("IsLeaf broken")
+	}
+}
+
+func TestWalkPostOrder(t *testing.T) {
+	_, q := fixture()
+	root := buildTree(q)
+	var ops []PhysOp
+	root.Walk(func(n *Node) { ops = append(ops, n.Op) })
+	want := []PhysOp{SeqScan, IndexScan, HashJoin, SeqScan, MergeJoin}
+	if len(ops) != len(want) {
+		t.Fatalf("ops = %v", ops)
+	}
+	for i := range want {
+		if ops[i] != want[i] {
+			t.Fatalf("post-order ops = %v, want %v", ops, want)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	_, q := fixture()
+	root := buildTree(q)
+	cp := root.Clone()
+	cp.EstCard = 42
+	cp.Left.Preds = nil
+	if root.EstCard == 42 {
+		t.Fatal("clone shares annotations")
+	}
+	if root.Left.Left.Preds == nil && len(q.Preds) > 0 {
+		t.Fatal("clone damaged original predicates")
+	}
+	if cp.NumNodes() != root.NumNodes() {
+		t.Fatal("clone changed shape")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	_, q := fixture()
+	root := buildTree(q)
+	root.EstCard = 100
+	s := root.String()
+	for _, frag := range []string{"MergeJoin", "HashJoin", "SeqScan(a", "IndexScan(b", "est=100"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("rendering missing %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestMatLeaf(t *testing.T) {
+	m := &Materialized{Tables: query.NewBitSet().Set(0).Set(1), Rows: [][]int64{{1, 2}, {3, 4}}}
+	n := NewMatLeaf(m)
+	if n.Op != MatScan || n.EstCard != 2 || n.TrueCard != 2 {
+		t.Fatalf("mat leaf = %+v", n)
+	}
+	if m.Card() != 2 {
+		t.Fatalf("card = %d", m.Card())
+	}
+}
+
+func TestLayoutOffsets(t *testing.T) {
+	_, q := fixture()
+	full := q.AllTablesMask()
+	l := NewLayout(q, full)
+	// a has 2 cols, b has 2 cols, c has 1 col
+	if l.Width() != 5 {
+		t.Fatalf("width = %d", l.Width())
+	}
+	if l.TableOffset(0) != 0 || l.TableOffset(1) != 2 || l.TableOffset(2) != 4 {
+		t.Fatal("table offsets wrong")
+	}
+	bY := q.Tables[1].Column("y")
+	if l.ColOffset(bY) != 3 {
+		t.Fatalf("ColOffset(b.y) = %d", l.ColOffset(bY))
+	}
+	if !l.HasTable(1) {
+		t.Fatal("HasTable broken")
+	}
+
+	// partial layout skips missing tables
+	part := NewLayout(q, query.NewBitSet().Set(0).Set(2))
+	if part.Width() != 3 || part.TableOffset(2) != 2 {
+		t.Fatalf("partial layout width=%d off=%d", part.Width(), part.TableOffset(2))
+	}
+	if part.HasTable(1) {
+		t.Fatal("partial layout should not contain table 1")
+	}
+}
+
+func TestLayoutPanicsOutsideMask(t *testing.T) {
+	_, q := fixture()
+	l := NewLayout(q, query.NewBitSet().Set(0))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-mask table")
+		}
+	}()
+	l.TableOffset(2)
+}
+
+func TestPhysOpStrings(t *testing.T) {
+	if HashJoin.String() != "HashJoin" || SeqScan.String() != "SeqScan" {
+		t.Fatal("op strings broken")
+	}
+	if !NestLoopJoin.IsJoin() || SeqScan.IsJoin() {
+		t.Fatal("IsJoin broken")
+	}
+}

@@ -1,0 +1,314 @@
+// Package query defines the select-project-equijoin-aggregate query
+// representation used across the repository (paper §3): COUNT(*) queries
+// over a set of relations connected by equi-join conditions, with filter
+// predicates on individual columns.
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+)
+
+// Op is a filter-predicate comparison operator.
+type Op int
+
+// Supported predicate operators. OpIn models the paper's "complex
+// predicates" (IN lists); string LIKE predicates are represented as range
+// predicates over dictionary-encoded codes, as the paper does for MSCN and
+// DeepDB.
+const (
+	OpEQ Op = iota
+	OpNE
+	OpLT
+	OpLE
+	OpGT
+	OpGE
+	OpIn
+	numOps
+)
+
+// NumOps is the size of the operator one-hot vocabulary in feature encoding.
+const NumOps = int(numOps)
+
+func (o Op) String() string {
+	switch o {
+	case OpEQ:
+		return "="
+	case OpNE:
+		return "<>"
+	case OpLT:
+		return "<"
+	case OpLE:
+		return "<="
+	case OpGT:
+		return ">"
+	case OpGE:
+		return ">="
+	case OpIn:
+		return "IN"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Predicate is one filter condition on a single column.
+type Predicate struct {
+	Col     *catalog.Column
+	Op      Op
+	Operand int64
+	// InSet holds the operand list for OpIn; Operand is unused then.
+	InSet []int64
+}
+
+// Eval reports whether value v satisfies the predicate.
+func (p Predicate) Eval(v int64) bool {
+	switch p.Op {
+	case OpEQ:
+		return v == p.Operand
+	case OpNE:
+		return v != p.Operand
+	case OpLT:
+		return v < p.Operand
+	case OpLE:
+		return v <= p.Operand
+	case OpGT:
+		return v > p.Operand
+	case OpGE:
+		return v >= p.Operand
+	case OpIn:
+		for _, x := range p.InSet {
+			if v == x {
+				return true
+			}
+		}
+		return false
+	default:
+		panic(fmt.Sprintf("query: unknown op %d", int(p.Op)))
+	}
+}
+
+func (p Predicate) String() string {
+	if p.Op == OpIn {
+		parts := make([]string, len(p.InSet))
+		for i, x := range p.InSet {
+			parts[i] = fmt.Sprint(x)
+		}
+		return fmt.Sprintf("%s IN (%s)", p.Col.QualifiedName(), strings.Join(parts, ","))
+	}
+	return fmt.Sprintf("%s %s %d", p.Col.QualifiedName(), p.Op, p.Operand)
+}
+
+// Join is one equi-join condition between two columns of different tables.
+type Join struct {
+	Left, Right *catalog.Column
+}
+
+func (j Join) String() string {
+	return j.Left.QualifiedName() + " = " + j.Right.QualifiedName()
+}
+
+// Query is a COUNT(*) select-project-equijoin query.
+type Query struct {
+	Tables []*catalog.Table
+	Joins  []Join
+	Preds  []Predicate
+
+	tableIdx map[int]int // catalog table ID -> local index
+}
+
+// New builds a query and freezes its table ordering (sorted by catalog ID so
+// bitmask subsets are canonical).
+func New(tables []*catalog.Table, joins []Join, preds []Predicate) *Query {
+	ts := append([]*catalog.Table(nil), tables...)
+	sort.Slice(ts, func(i, j int) bool { return ts[i].ID < ts[j].ID })
+	q := &Query{Tables: ts, Joins: joins, Preds: preds, tableIdx: make(map[int]int)}
+	for i, t := range ts {
+		q.tableIdx[t.ID] = i
+	}
+	for _, j := range joins {
+		q.mustHave(j.Left.Table)
+		q.mustHave(j.Right.Table)
+	}
+	for _, p := range preds {
+		q.mustHave(p.Col.Table)
+	}
+	return q
+}
+
+func (q *Query) mustHave(t *catalog.Table) {
+	if _, ok := q.tableIdx[t.ID]; !ok {
+		panic(fmt.Sprintf("query: table %s referenced but not in FROM list", t.Name))
+	}
+}
+
+// NumJoins returns the number of join conditions (the paper's query
+// complexity measure; a "Join-eight" query has 8 joins over 9 relations).
+func (q *Query) NumJoins() int { return len(q.Joins) }
+
+// TableIndex returns the local index of t within the query, or -1. Identity
+// is by pointer, so same-ID tables from a different schema do not alias.
+func (q *Query) TableIndex(t *catalog.Table) int {
+	if i, ok := q.tableIdx[t.ID]; ok && q.Tables[i] == t {
+		return i
+	}
+	return -1
+}
+
+// PredsOn returns the predicates filtering table t.
+func (q *Query) PredsOn(t *catalog.Table) []Predicate {
+	var out []Predicate
+	for _, p := range q.Preds {
+		if p.Col.Table == t {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// JoinsWithin returns the join conditions whose both sides fall inside the
+// table subset mask.
+func (q *Query) JoinsWithin(mask BitSet) []Join {
+	var out []Join
+	for _, j := range q.Joins {
+		li := q.TableIndex(j.Left.Table)
+		ri := q.TableIndex(j.Right.Table)
+		if mask.Has(li) && mask.Has(ri) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// JoinsBetween returns the join conditions with one side in left and the
+// other in right.
+func (q *Query) JoinsBetween(left, right BitSet) []Join {
+	var out []Join
+	for _, j := range q.Joins {
+		li := q.TableIndex(j.Left.Table)
+		ri := q.TableIndex(j.Right.Table)
+		if (left.Has(li) && right.Has(ri)) || (left.Has(ri) && right.Has(li)) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// Connected reports whether the tables in mask form a connected subgraph
+// under the query's join conditions.
+func (q *Query) Connected(mask BitSet) bool {
+	if mask.Count() <= 1 {
+		return mask.Count() == 1
+	}
+	start := mask.First()
+	frontier := NewBitSet().Set(start)
+	for {
+		grown := frontier
+		for _, j := range q.Joins {
+			li := q.TableIndex(j.Left.Table)
+			ri := q.TableIndex(j.Right.Table)
+			if !mask.Has(li) || !mask.Has(ri) {
+				continue
+			}
+			if grown.Has(li) {
+				grown = grown.Set(ri)
+			}
+			if grown.Has(ri) {
+				grown = grown.Set(li)
+			}
+		}
+		if grown == frontier {
+			break
+		}
+		frontier = grown
+	}
+	return frontier == mask
+}
+
+// AllTablesMask returns the mask covering every table of the query.
+func (q *Query) AllTablesMask() BitSet {
+	m := NewBitSet()
+	for i := range q.Tables {
+		m = m.Set(i)
+	}
+	return m
+}
+
+// SQL renders the query as a SQL string for logs and examples.
+func (q *Query) SQL() string {
+	var b strings.Builder
+	b.WriteString("SELECT COUNT(*) FROM ")
+	names := make([]string, len(q.Tables))
+	for i, t := range q.Tables {
+		names[i] = t.Name
+	}
+	b.WriteString(strings.Join(names, ", "))
+	var conds []string
+	for _, j := range q.Joins {
+		conds = append(conds, j.String())
+	}
+	for _, p := range q.Preds {
+		conds = append(conds, p.String())
+	}
+	if len(conds) > 0 {
+		b.WriteString(" WHERE ")
+		b.WriteString(strings.Join(conds, " AND "))
+	}
+	return b.String()
+}
+
+// BitSet is a subset of a query's tables by local index. It supports up to
+// 32 relations, far beyond the paper's 9-relation maximum.
+type BitSet uint32
+
+// NewBitSet returns the empty set.
+func NewBitSet() BitSet { return 0 }
+
+// Set returns the set with bit i added.
+func (b BitSet) Set(i int) BitSet { return b | 1<<uint(i) }
+
+// Clear returns the set with bit i removed.
+func (b BitSet) Clear(i int) BitSet { return b &^ (1 << uint(i)) }
+
+// Has reports whether bit i is present.
+func (b BitSet) Has(i int) bool { return b&(1<<uint(i)) != 0 }
+
+// Union returns b ∪ o.
+func (b BitSet) Union(o BitSet) BitSet { return b | o }
+
+// Intersects reports whether b and o share any bit.
+func (b BitSet) Intersects(o BitSet) bool { return b&o != 0 }
+
+// Count returns the number of set bits.
+func (b BitSet) Count() int {
+	n := 0
+	for x := b; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// First returns the lowest set bit index, or -1 for the empty set.
+func (b BitSet) First() int {
+	if b == 0 {
+		return -1
+	}
+	i := 0
+	for !b.Has(i) {
+		i++
+	}
+	return i
+}
+
+// Indices returns the set bits in ascending order.
+func (b BitSet) Indices() []int {
+	var out []int
+	for i := 0; i < 32; i++ {
+		if b.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}

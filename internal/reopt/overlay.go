@@ -1,0 +1,75 @@
+package reopt
+
+import (
+	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+// Overlay implements the paper's §8 observation that progressive
+// estimation "can be applied to other estimators": it wraps ANY base
+// estimator with the exact cardinalities of the executed sub-plans. Subsets
+// that exactly match an executed sub-plan return the observed cardinality;
+// subsets containing one are estimated by the base estimator and then
+// scaled by the ratio between the executed sub-plan's true and originally
+// estimated cardinality (error propagation correction); everything else
+// falls through unchanged.
+//
+// Unlike LPCE-R this uses no learned refinement — it is the natural
+// baseline for progressive estimation with data-driven or histogram
+// estimators, and the ablation benches compare the two.
+type Overlay struct {
+	Base  cardest.Estimator
+	execs []Executed
+	// ratio of true/estimated cardinality per executed subset, used to
+	// rescale containing subsets.
+	ratios map[query.BitSet]float64
+}
+
+// NewOverlay builds the overlay from the controller's executed sub-plans.
+// estimates supplies the base estimator's original estimate per executed
+// subset (exact-cardinality correction needs both sides of the ratio); pass
+// nil to disable ratio scaling.
+func NewOverlay(base cardest.Estimator, execs []Executed, estimates map[query.BitSet]float64) *Overlay {
+	o := &Overlay{Base: base, execs: execs, ratios: make(map[query.BitSet]float64)}
+	for _, e := range execs {
+		if estimates == nil {
+			continue
+		}
+		if est, ok := estimates[e.Mask]; ok && est >= 1 && e.Card >= 1 {
+			o.ratios[e.Mask] = e.Card / est
+		}
+	}
+	return o
+}
+
+// Name implements cardest.Estimator.
+func (o *Overlay) Name() string { return o.Base.Name() + "+overlay" }
+
+// EstimateSubset implements cardest.Estimator.
+func (o *Overlay) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
+	// exact cardinalities for executed subsets
+	for _, e := range o.execs {
+		if e.Mask == mask {
+			return e.Card
+		}
+	}
+	est := o.Base.EstimateSubset(q, mask)
+	// error-propagation correction: scale by the largest contained
+	// executed sub-plan's observed error ratio (errors propagate
+	// multiplicatively up the join tree, the paper's §1 observation)
+	best := 0
+	ratio := 1.0
+	for m, r := range o.ratios {
+		if m&mask == m && m.Count() > best {
+			best = m.Count()
+			ratio = r
+		}
+	}
+	v := est * ratio
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+var _ cardest.Estimator = (*Overlay)(nil)

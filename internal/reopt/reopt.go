@@ -1,0 +1,114 @@
+// Package reopt implements the query re-optimization controller of paper
+// §6.2: it observes the executor's materialization checkpoints, compares
+// each materialized sub-plan's actual cardinality against the optimizer's
+// estimate, and — when the q-error exceeds the trigger threshold — pauses
+// execution so the engine can refine the remaining estimates with LPCE-R
+// and re-plan from the materialized intermediates.
+package reopt
+
+import (
+	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/nn"
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+// Policy is the re-optimization trigger rule.
+type Policy struct {
+	// QErrThreshold triggers re-optimization when the q-error between a
+	// materialized sub-plan's actual and estimated cardinality exceeds it
+	// (paper: empirically 50).
+	QErrThreshold float64
+	// MaxReopts bounds the number of re-optimizations per query (paper: 3)
+	// so difficult queries the model never learned do not thrash.
+	MaxReopts int
+	// MinRemainingCostFrac is the cost-aware extension the paper leaves as
+	// future work ("re-optimization should be triggered when its execution
+	// time reduction outweighs T_R"): a trigger is suppressed unless the
+	// estimated cost of the not-yet-executed part of the plan is at least
+	// this fraction of the whole plan's estimated cost. Zero disables the
+	// check (the paper's plain threshold rule).
+	MinRemainingCostFrac float64
+}
+
+// DefaultPolicy returns the paper's settings.
+func DefaultPolicy() Policy { return Policy{QErrThreshold: 50, MaxReopts: 3} }
+
+// Executed records one materialized sub-plan.
+type Executed struct {
+	Node *plan.Node
+	Mask query.BitSet
+	Card float64
+}
+
+// Controller implements exec.Controller across the (possibly several)
+// executions of one query. It persists between re-optimizations: the
+// re-optimization count is cumulative and materialized intermediates
+// accumulate.
+type Controller struct {
+	Policy Policy
+	Reopts int
+	mats   map[query.BitSet]*plan.Materialized
+	execs  []Executed
+	// Triggered holds the signal that paused the current execution, for
+	// inspection by the engine and the experiment harness.
+	Triggered *exec.ReoptSignal
+	// planCost is the current plan's total estimated cost, set by the
+	// engine before each execution for the cost-aware trigger.
+	planCost float64
+}
+
+// SetPlan informs the controller of the plan about to execute (used by the
+// cost-aware trigger rule).
+func (c *Controller) SetPlan(root *plan.Node) {
+	if root != nil {
+		c.planCost = root.EstCost
+	}
+}
+
+// NewController returns a controller with the given policy.
+func NewController(p Policy) *Controller {
+	return &Controller{Policy: p, mats: make(map[query.BitSet]*plan.Materialized)}
+}
+
+// OnMaterialized implements exec.Controller.
+func (c *Controller) OnMaterialized(node *plan.Node, rows [][]int64) error {
+	if node.Op == plan.MatScan {
+		return nil // replaying an already-checked intermediate
+	}
+	c.mats[node.Tables] = &plan.Materialized{Tables: node.Tables, Rows: rows}
+	c.execs = append(c.execs, Executed{Node: node, Mask: node.Tables, Card: float64(len(rows))})
+	if c.Reopts >= c.Policy.MaxReopts {
+		return nil
+	}
+	if node.EstCard <= 0 {
+		return nil
+	}
+	q := nn.QError(float64(len(rows)), node.EstCard)
+	if q <= c.Policy.QErrThreshold {
+		return nil
+	}
+	// cost-aware suppression: if almost all estimated work is already done,
+	// re-planning cannot pay for its own overhead
+	if c.Policy.MinRemainingCostFrac > 0 && c.planCost > 0 {
+		remaining := 1 - node.EstCost/c.planCost
+		if remaining < c.Policy.MinRemainingCostFrac {
+			return nil
+		}
+	}
+	c.Reopts++
+	sig := &exec.ReoptSignal{Node: node, Actual: len(rows)}
+	c.Triggered = sig
+	return sig
+}
+
+// Materialized returns the accumulated intermediates for plan resumption.
+func (c *Controller) Materialized() map[query.BitSet]*plan.Materialized { return c.mats }
+
+// ExecutedSubs returns the executed sub-plans recorded so far, most recent
+// last. Node pointers reference the plans they were part of, with true
+// cardinalities stamped by the executor.
+func (c *Controller) ExecutedSubs() []Executed { return c.execs }
+
+// ClearTrigger resets the triggered signal before resuming execution.
+func (c *Controller) ClearTrigger() { c.Triggered = nil }

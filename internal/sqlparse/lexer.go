@@ -1,0 +1,125 @@
+// Package sqlparse parses the SQL dialect the engine executes —
+// select-project-equijoin-aggregate queries of the paper's §3 form:
+//
+//	SELECT COUNT(*) FROM R, U, S, T
+//	WHERE R.a = U.a AND U.b = S.b AND S.c = T.c
+//	  AND R.x > 10 AND S.y IN (1, 2, 3)
+//
+// into the internal query representation, resolving table and column names
+// against a catalog schema. It is the inverse of query.SQL() and makes the
+// library usable from SQL text (cmd/lpce-sql builds a shell on it).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer output.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol   // punctuation: ( ) , ; . *
+	tokOperator // = <> != < <= > >=
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset, for error messages
+}
+
+// lexer produces tokens from SQL text.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the input or returns a positioned error.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent()
+		case unicode.IsDigit(rune(c)) || (c == '-' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber()
+		case strings.ContainsRune("(),;.*", rune(c)):
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+		case strings.ContainsRune("=<>!", rune(c)):
+			if err := l.lexOperator(); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("sqlparse: unexpected character %q at offset %d", c, start)
+		}
+	}
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return unicode.IsLetter(r) || r == '_'
+}
+
+func isIdentPart(r rune) bool {
+	return unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_'
+}
+
+func (l *lexer) lexIdent() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) lexOperator() error {
+	start := l.pos
+	two := ""
+	if l.pos+1 < len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		l.toks = append(l.toks, token{kind: tokOperator, text: two, pos: start})
+		return nil
+	}
+	switch l.src[l.pos] {
+	case '=', '<', '>':
+		op := string(l.src[l.pos])
+		l.pos++
+		l.toks = append(l.toks, token{kind: tokOperator, text: op, pos: start})
+		return nil
+	}
+	return fmt.Errorf("sqlparse: unexpected operator starting at offset %d", start)
+}

@@ -1,0 +1,207 @@
+// Package storage implements the in-memory column store that backs the
+// execution engine: tables hold int64 columns (string attributes are
+// dictionary-encoded to integers before load, as the paper does for
+// categorical columns), with hash and ordered indexes built per column on
+// demand for index scans, index nested-loop joins, and the sampling-based
+// estimators.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+)
+
+// Table holds one relation's data column-major. Reads (including lazy
+// index construction) are safe for concurrent use; AppendRows is not and
+// must be externally synchronized against readers.
+type Table struct {
+	Meta *catalog.Table
+	Cols [][]int64
+
+	mu      sync.Mutex // guards lazy index construction
+	hashIdx map[int]*HashIndex
+	ordIdx  map[int]*OrderedIndex
+}
+
+// NewTable allocates a table for the given catalog entry with numRows rows.
+func NewTable(meta *catalog.Table, numRows int) *Table {
+	t := &Table{
+		Meta:    meta,
+		Cols:    make([][]int64, len(meta.Columns)),
+		hashIdx: make(map[int]*HashIndex),
+		ordIdx:  make(map[int]*OrderedIndex),
+	}
+	for i := range t.Cols {
+		t.Cols[i] = make([]int64, numRows)
+	}
+	return t
+}
+
+// NumRows returns the row count.
+func (t *Table) NumRows() int {
+	if len(t.Cols) == 0 {
+		return 0
+	}
+	return len(t.Cols[0])
+}
+
+// Col returns the column at position pos.
+func (t *Table) Col(pos int) []int64 { return t.Cols[pos] }
+
+// ColByName returns the column data for the named column.
+func (t *Table) ColByName(name string) []int64 {
+	c := t.Meta.Column(name)
+	if c == nil {
+		panic(fmt.Sprintf("storage: table %s has no column %s", t.Meta.Name, name))
+	}
+	return t.Cols[c.Pos]
+}
+
+// AppendRows adds rows to the table (each row must have one value per
+// column), invalidating any indexes built so far. Callers should re-run
+// FinishLoad (and re-ANALYZE statistics) after a batch of appends — the
+// "handling data updates" path the paper defers to future work.
+func (t *Table) AppendRows(rows [][]int64) {
+	for _, row := range rows {
+		if len(row) != len(t.Cols) {
+			panic(fmt.Sprintf("storage: row width %d, table %s has %d columns",
+				len(row), t.Meta.Name, len(t.Cols)))
+		}
+		for c, v := range row {
+			t.Cols[c] = append(t.Cols[c], v)
+		}
+	}
+	// indexes are stale now; drop them so the next access rebuilds
+	t.hashIdx = make(map[int]*HashIndex)
+	t.ordIdx = make(map[int]*OrderedIndex)
+}
+
+// FinishLoad computes per-column statistics (min, max, NDV) into the
+// catalog. Call once after populating the columns.
+func (t *Table) FinishLoad() {
+	for i, meta := range t.Meta.Columns {
+		col := t.Cols[i]
+		if len(col) == 0 {
+			meta.Min, meta.Max, meta.NDV = 0, 0, 0
+			continue
+		}
+		mn, mx := col[0], col[0]
+		distinct := make(map[int64]struct{}, 1024)
+		for _, v := range col {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			distinct[v] = struct{}{}
+		}
+		meta.Min, meta.Max, meta.NDV = mn, mx, len(distinct)
+	}
+}
+
+// HashIndex maps a column value to the row IDs holding it.
+type HashIndex struct {
+	Rows map[int64][]int32
+}
+
+// Lookup returns the row IDs with the given value.
+func (ix *HashIndex) Lookup(v int64) []int32 { return ix.Rows[v] }
+
+// HashIndex returns (building if necessary) the hash index on column pos.
+func (t *Table) HashIndex(pos int) *HashIndex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix, ok := t.hashIdx[pos]; ok {
+		return ix
+	}
+	ix := &HashIndex{Rows: make(map[int64][]int32, t.NumRows())}
+	for r, v := range t.Cols[pos] {
+		ix.Rows[v] = append(ix.Rows[v], int32(r))
+	}
+	t.hashIdx[pos] = ix
+	return ix
+}
+
+// OrderedIndex holds (value, row) pairs sorted by value for range scans.
+type OrderedIndex struct {
+	Vals []int64
+	Rids []int32
+}
+
+// OrderedIndex returns (building if necessary) the ordered index on column
+// pos.
+func (t *Table) OrderedIndex(pos int) *OrderedIndex {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ix, ok := t.ordIdx[pos]; ok {
+		return ix
+	}
+	n := t.NumRows()
+	ix := &OrderedIndex{Vals: make([]int64, n), Rids: make([]int32, n)}
+	copy(ix.Vals, t.Cols[pos])
+	for i := range ix.Rids {
+		ix.Rids[i] = int32(i)
+	}
+	sort.Sort(byVal{ix})
+	t.ordIdx[pos] = ix
+	return ix
+}
+
+// Range returns the row IDs whose value v satisfies lo <= v <= hi, using
+// binary search over the ordered index.
+func (ix *OrderedIndex) Range(lo, hi int64) []int32 {
+	start := sort.Search(len(ix.Vals), func(i int) bool { return ix.Vals[i] >= lo })
+	end := sort.Search(len(ix.Vals), func(i int) bool { return ix.Vals[i] > hi })
+	if start >= end {
+		return nil
+	}
+	return ix.Rids[start:end]
+}
+
+type byVal struct{ ix *OrderedIndex }
+
+func (b byVal) Len() int           { return len(b.ix.Vals) }
+func (b byVal) Less(i, j int) bool { return b.ix.Vals[i] < b.ix.Vals[j] }
+func (b byVal) Swap(i, j int) {
+	b.ix.Vals[i], b.ix.Vals[j] = b.ix.Vals[j], b.ix.Vals[i]
+	b.ix.Rids[i], b.ix.Rids[j] = b.ix.Rids[j], b.ix.Rids[i]
+}
+
+// Database is a set of loaded tables plus their schema.
+type Database struct {
+	Schema *catalog.Schema
+	Tables []*Table // indexed by catalog table ID
+}
+
+// NewDatabase allocates a database shell for the schema; tables are filled
+// by the data generator.
+func NewDatabase(schema *catalog.Schema) *Database {
+	return &Database{Schema: schema, Tables: make([]*Table, len(schema.Tables))}
+}
+
+// Table returns the storage table for the catalog table.
+func (db *Database) Table(meta *catalog.Table) *Table { return db.Tables[meta.ID] }
+
+// TableByName returns the storage table with the given name, or nil.
+func (db *Database) TableByName(name string) *Table {
+	meta := db.Schema.Table(name)
+	if meta == nil {
+		return nil
+	}
+	return db.Tables[meta.ID]
+}
+
+// TotalRows returns the sum of row counts across all tables.
+func (db *Database) TotalRows() int {
+	n := 0
+	for _, t := range db.Tables {
+		if t != nil {
+			n += t.NumRows()
+		}
+	}
+	return n
+}

@@ -1,0 +1,99 @@
+package storage
+
+import (
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+)
+
+func buildLoaded(t *testing.T) (*Database, *Table) {
+	t.Helper()
+	s := catalog.NewSchema()
+	meta := s.AddTable("t", catalog.PK("id"), catalog.Attr("v"))
+	db := NewDatabase(s)
+	tab := NewTable(meta, 6)
+	copy(tab.ColByName("id"), []int64{0, 1, 2, 3, 4, 5})
+	copy(tab.ColByName("v"), []int64{5, 3, 5, 1, 9, 3})
+	db.Tables[meta.ID] = tab
+	tab.FinishLoad()
+	return db, tab
+}
+
+func TestFinishLoadStats(t *testing.T) {
+	_, tab := buildLoaded(t)
+	v := tab.Meta.Column("v")
+	if v.Min != 1 || v.Max != 9 || v.NDV != 4 {
+		t.Fatalf("stats = min %d max %d ndv %d", v.Min, v.Max, v.NDV)
+	}
+	id := tab.Meta.Column("id")
+	if id.NDV != 6 {
+		t.Fatalf("id ndv = %d", id.NDV)
+	}
+}
+
+func TestHashIndexLookup(t *testing.T) {
+	_, tab := buildLoaded(t)
+	ix := tab.HashIndex(tab.Meta.Column("v").Pos)
+	got := ix.Lookup(5)
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("lookup(5) = %v", got)
+	}
+	if ix.Lookup(42) != nil {
+		t.Fatal("lookup of absent value should be nil")
+	}
+	// cached instance
+	if tab.HashIndex(tab.Meta.Column("v").Pos) != ix {
+		t.Fatal("hash index should be cached")
+	}
+}
+
+func TestOrderedIndexRange(t *testing.T) {
+	_, tab := buildLoaded(t)
+	ix := tab.OrderedIndex(tab.Meta.Column("v").Pos)
+	rids := ix.Range(3, 5)
+	// values 3,3,5,5 -> rows {1,5,0,2} in some sorted-by-value order
+	if len(rids) != 4 {
+		t.Fatalf("range(3,5) = %v", rids)
+	}
+	seen := map[int32]bool{}
+	for _, r := range rids {
+		seen[r] = true
+	}
+	for _, want := range []int32{0, 1, 2, 5} {
+		if !seen[want] {
+			t.Fatalf("row %d missing from range result %v", want, rids)
+		}
+	}
+	if got := ix.Range(100, 200); len(got) != 0 {
+		t.Fatalf("empty range returned %v", got)
+	}
+	if got := ix.Range(9, 9); len(got) != 1 {
+		t.Fatalf("range(9,9) = %v", got)
+	}
+}
+
+func TestDatabaseLookups(t *testing.T) {
+	db, tab := buildLoaded(t)
+	if db.TableByName("t") != tab {
+		t.Fatal("TableByName failed")
+	}
+	if db.TableByName("missing") != nil {
+		t.Fatal("missing table should be nil")
+	}
+	if db.Table(tab.Meta) != tab {
+		t.Fatal("Table by meta failed")
+	}
+	if db.TotalRows() != 6 {
+		t.Fatalf("TotalRows = %d", db.TotalRows())
+	}
+}
+
+func TestColByNamePanicsOnMissing(t *testing.T) {
+	_, tab := buildLoaded(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tab.ColByName("missing")
+}

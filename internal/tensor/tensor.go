@@ -1,0 +1,172 @@
+// Package tensor provides the dense float64 vector and matrix kernels that
+// back the autodiff engine and the learned estimators. Everything is plain
+// Go on contiguous slices: at the model sizes used by LPCE (hidden widths of
+// 32–1024, plan trees with at most a few dozen nodes) scalar loops are more
+// than fast enough and keep the package dependency-free.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense column vector.
+type Vec []float64
+
+// NewVec returns a zeroed vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Zero sets every element of v to zero.
+func (v Vec) Zero() {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every element of v to x.
+func (v Vec) Fill(x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// Dot returns the inner product of v and w. The vectors must have equal
+// length.
+func (v Vec) Dot(w Vec) float64 {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: dot length mismatch %d vs %d", len(v), len(w)))
+	}
+	var s float64
+	for i := range v {
+		s += v[i] * w[i]
+	}
+	return s
+}
+
+// Axpy computes v += alpha*w in place.
+func (v Vec) Axpy(alpha float64, w Vec) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("tensor: axpy length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range w {
+		v[i] += alpha * w[i]
+	}
+}
+
+// Add computes v += w in place.
+func (v Vec) Add(w Vec) { v.Axpy(1, w) }
+
+// Scale multiplies every element of v by alpha in place.
+func (v Vec) Scale(alpha float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// Norm2 returns the Euclidean norm of v.
+func (v Vec) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// MaxAbs returns the largest absolute element of v, or 0 for an empty vector.
+func (v Vec) MaxAbs() float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Mat is a dense row-major matrix.
+type Mat struct {
+	Rows, Cols int
+	Data       Vec // len == Rows*Cols, row-major
+}
+
+// NewMat returns a zeroed Rows x Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: invalid matrix shape %dx%d", rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: NewVec(rows * cols)}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, x float64) { m.Data[i*m.Cols+j] = x }
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Mat) Row(i int) Vec { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: m.Data.Clone()}
+}
+
+// Zero sets every element of m to zero.
+func (m *Mat) Zero() { m.Data.Zero() }
+
+// MatVec computes out = m * x. out must have length m.Rows and x length
+// m.Cols; out is overwritten.
+func (m *Mat) MatVec(x, out Vec) {
+	if len(x) != m.Cols || len(out) != m.Rows {
+		panic(fmt.Sprintf("tensor: matvec shape mismatch: %dx%d * %d -> %d",
+			m.Rows, m.Cols, len(x), len(out)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, xj := range x {
+			s += row[j] * xj
+		}
+		out[i] = s
+	}
+}
+
+// MatVecT computes out += mᵀ * x (the transpose product), used by the
+// backward pass of a linear layer. x must have length m.Rows and out length
+// m.Cols.
+func (m *Mat) MatVecT(x, out Vec) {
+	if len(x) != m.Rows || len(out) != m.Cols {
+		panic(fmt.Sprintf("tensor: matvecT shape mismatch: (%dx%d)ᵀ * %d -> %d",
+			m.Rows, m.Cols, len(x), len(out)))
+	}
+	for i := 0; i < m.Rows; i++ {
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range row {
+			out[j] += xi * row[j]
+		}
+	}
+}
+
+// AddOuter computes m += alpha * (x ⊗ y), i.e. m[i][j] += alpha*x[i]*y[j].
+// Used to accumulate weight gradients.
+func (m *Mat) AddOuter(alpha float64, x, y Vec) {
+	if len(x) != m.Rows || len(y) != m.Cols {
+		panic(fmt.Sprintf("tensor: outer shape mismatch: %d ⊗ %d into %dx%d",
+			len(x), len(y), m.Rows, m.Cols))
+	}
+	for i := range x {
+		xi := alpha * x[i]
+		if xi == 0 {
+			continue
+		}
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j := range y {
+			row[j] += xi * y[j]
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestVecDot(t *testing.T) {
+	v := Vec{1, 2, 3}
+	w := Vec{4, 5, 6}
+	if got := v.Dot(w); !almostEq(got, 32) {
+		t.Fatalf("dot = %v, want 32", got)
+	}
+}
+
+func TestVecDotMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	Vec{1}.Dot(Vec{1, 2})
+}
+
+func TestVecAxpy(t *testing.T) {
+	v := Vec{1, 2}
+	v.Axpy(2, Vec{10, 20})
+	if v[0] != 21 || v[1] != 42 {
+		t.Fatalf("axpy = %v", v)
+	}
+}
+
+func TestVecScaleZeroFill(t *testing.T) {
+	v := Vec{1, 2, 3}
+	v.Scale(3)
+	if v[2] != 9 {
+		t.Fatalf("scale = %v", v)
+	}
+	v.Fill(7)
+	if v[0] != 7 || v[1] != 7 {
+		t.Fatalf("fill = %v", v)
+	}
+	v.Zero()
+	if v.Norm2() != 0 {
+		t.Fatalf("zero = %v", v)
+	}
+}
+
+func TestVecCloneIndependent(t *testing.T) {
+	v := Vec{1, 2}
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Fatal("clone aliases original")
+	}
+}
+
+func TestVecMaxAbs(t *testing.T) {
+	if got := (Vec{-5, 3, 4}).MaxAbs(); got != 5 {
+		t.Fatalf("maxabs = %v", got)
+	}
+	if got := (Vec{}).MaxAbs(); got != 0 {
+		t.Fatalf("maxabs empty = %v", got)
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, Vec{1, 2, 3, 4, 5, 6})
+	out := NewVec(2)
+	m.MatVec(Vec{1, 1, 1}, out)
+	if !almostEq(out[0], 6) || !almostEq(out[1], 15) {
+		t.Fatalf("matvec = %v", out)
+	}
+}
+
+func TestMatVecT(t *testing.T) {
+	m := NewMat(2, 3)
+	copy(m.Data, Vec{1, 2, 3, 4, 5, 6})
+	out := NewVec(3)
+	m.MatVecT(Vec{1, 2}, out)
+	// mᵀ * [1,2] = [1+8, 2+10, 3+12]
+	want := Vec{9, 12, 15}
+	for i := range want {
+		if !almostEq(out[i], want[i]) {
+			t.Fatalf("matvecT = %v, want %v", out, want)
+		}
+	}
+}
+
+func TestMatAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	m.AddOuter(2, Vec{1, 2}, Vec{3, 4})
+	want := Vec{6, 8, 12, 16}
+	for i := range want {
+		if !almostEq(m.Data[i], want[i]) {
+			t.Fatalf("outer = %v, want %v", m.Data, want)
+		}
+	}
+}
+
+func TestMatAtSetRow(t *testing.T) {
+	m := NewMat(3, 2)
+	m.Set(2, 1, 42)
+	if m.At(2, 1) != 42 {
+		t.Fatal("At/Set roundtrip failed")
+	}
+	if m.Row(2)[1] != 42 {
+		t.Fatal("Row does not alias storage")
+	}
+	m2 := m.Clone()
+	m2.Set(2, 1, 0)
+	if m.At(2, 1) != 42 {
+		t.Fatal("Clone aliases original")
+	}
+	m.Zero()
+	if m.At(2, 1) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+// Property: MatVecT is the true transpose of MatVec, i.e. ⟨Ax, y⟩ == ⟨x, Aᵀy⟩.
+func TestMatVecTransposeAdjointProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(seed)
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		m := NewMat(rows, cols)
+		r.FillNormal(m.Data, 0, 1)
+		x, y := NewVec(cols), NewVec(rows)
+		r.FillNormal(x, 0, 1)
+		r.FillNormal(y, 0, 1)
+		ax := NewVec(rows)
+		m.MatVec(x, ax)
+		aty := NewVec(cols)
+		m.MatVecT(y, aty)
+		return math.Abs(ax.Dot(y)-x.Dot(aty)) < 1e-8
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AddOuter(a, x, y) then MatVec(z) equals a*x*(y·z) for rank-1
+// matrices.
+func TestAddOuterRankOneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := NewRNG(seed)
+		rows, cols := 1+r.Intn(6), 1+r.Intn(6)
+		x, y, z := NewVec(rows), NewVec(cols), NewVec(cols)
+		r.FillNormal(x, 0, 1)
+		r.FillNormal(y, 0, 1)
+		r.FillNormal(z, 0, 1)
+		m := NewMat(rows, cols)
+		m.AddOuter(1.5, x, y)
+		out := NewVec(rows)
+		m.MatVec(z, out)
+		dot := y.Dot(z)
+		for i := range out {
+			if math.Abs(out[i]-1.5*x[i]*dot) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewVec(16), NewVec(16)
+	NewRNG(7).FillNormal(a, 0, 1)
+	NewRNG(7).FillNormal(b, 0, 1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed should give identical samples")
+		}
+	}
+}
+
+func TestXavierBound(t *testing.T) {
+	m := NewMat(10, 30)
+	NewRNG(1).Xavier(m)
+	bound := math.Sqrt(6.0 / 40.0)
+	for _, x := range m.Data {
+		if math.Abs(x) > bound {
+			t.Fatalf("xavier sample %v outside bound %v", x, bound)
+		}
+	}
+	if m.Data.MaxAbs() == 0 {
+		t.Fatal("xavier left matrix zeroed")
+	}
+}

@@ -1,0 +1,187 @@
+package treenn
+
+import (
+	"math"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/autodiff"
+	"github.com/lpce-db/lpce/internal/encode"
+	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/nn"
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/tensor"
+	"github.com/lpce-db/lpce/internal/testutil"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+func testModel(cell CellKind, seed int64) (*TreeModel, *encode.Encoder) {
+	db := testutil.TinyDB()
+	enc := encode.NewEncoder(db.Schema)
+	m := NewTreeModel(Config{InputDim: enc.Dim(), Hidden: 12, OutWidth: 16, Cell: cell, Seed: seed})
+	m.LogMax = math.Log(1e6)
+	return m, enc
+}
+
+func testPlan(joins int, seed int64) *plan.Node {
+	db := testutil.TinyDB()
+	g := workload.NewGenerator(db, seed)
+	q := g.Query(joins)
+	return exec.CanonicalPlan(q, q.AllTablesMask())
+}
+
+func TestForwardProducesAllNodes(t *testing.T) {
+	for _, cell := range []CellKind{CellSRU, CellLSTM} {
+		m, enc := testModel(cell, 1)
+		p := testPlan(3, 71)
+		tp := autodiff.NewTape()
+		outs := m.Forward(tp, p, func(n *plan.Node) tensor.Vec { return enc.EncodeNode(n) }, nil)
+		if len(outs) != p.NumNodes() {
+			t.Fatalf("%v: outputs for %d nodes, plan has %d", cell, len(outs), p.NumNodes())
+		}
+		for n, o := range outs {
+			if o.Pred.Scalar() < 0 || o.Pred.Scalar() > 1 {
+				t.Fatalf("%v: prediction %v outside [0,1] at %v", cell, o.Pred.Scalar(), n.Op)
+			}
+			if o.C.Len() != 12 || o.H.Len() != 12 {
+				t.Fatalf("%v: embedding widths wrong", cell)
+			}
+		}
+	}
+}
+
+func TestForwardDeterministic(t *testing.T) {
+	m, enc := testModel(CellSRU, 2)
+	p := testPlan(2, 72)
+	feat := func(n *plan.Node) tensor.Vec { return enc.EncodeNode(n) }
+	a := m.Predict(p, feat)
+	b := m.Predict(p, feat)
+	if a != b {
+		t.Fatalf("predictions differ: %v vs %v", a, b)
+	}
+	if a < 1 || a > 1e6+1 {
+		t.Fatalf("prediction %v outside cardinality range", a)
+	}
+}
+
+func TestSRUSmallerThanLSTM(t *testing.T) {
+	sru, _ := testModel(CellSRU, 3)
+	lstm, _ := testModel(CellLSTM, 3)
+	if sru.NumWeights() >= lstm.NumWeights() {
+		t.Fatalf("SRU (%d weights) should be smaller than LSTM (%d)", sru.NumWeights(), lstm.NumWeights())
+	}
+}
+
+func TestChildCOverrideSkipsSubtree(t *testing.T) {
+	m, enc := testModel(CellSRU, 4)
+	p := testPlan(3, 73)
+	feat := func(n *plan.Node) tensor.Vec { return enc.EncodeNode(n) }
+	tp := autodiff.NewTape()
+	override := tp.Const(tensor.NewVec(12))
+	childC := map[*plan.Node]*autodiff.Node{p.Left: override}
+	outs := m.Forward(tp, p, feat, childC)
+	if _, ok := outs[p.Left]; ok {
+		t.Fatal("overridden subtree should not be evaluated")
+	}
+	p.Left.Walk(func(n *plan.Node) {
+		if n == p.Left {
+			return
+		}
+		if _, ok := outs[n]; ok {
+			t.Fatal("descendant of overridden subtree was evaluated")
+		}
+	})
+	if _, ok := outs[p]; !ok {
+		t.Fatal("root missing from outputs")
+	}
+}
+
+func TestGradientsFlowThroughTree(t *testing.T) {
+	// One training step on a toy target should reduce loss.
+	for _, cell := range []CellKind{CellSRU, CellLSTM} {
+		m, enc := testModel(cell, 5)
+		p := testPlan(2, 74)
+		feat := func(n *plan.Node) tensor.Vec { return enc.EncodeNode(n) }
+		opt := nn.NewAdam(0.01)
+		var first, last float64
+		for i := 0; i < 60; i++ {
+			tp := autodiff.NewTape()
+			outs := m.Forward(tp, p, feat, nil)
+			loss := nn.QErrorLoss(tp, outs[p].Pred, 5000, m.LogMax)
+			if i == 0 {
+				first = loss.Scalar()
+			}
+			last = loss.Scalar()
+			m.Params.ZeroGrad()
+			tp.Backward(loss)
+			m.Params.ClipGrad(5)
+			opt.Step(m.Params)
+		}
+		if last >= first {
+			t.Fatalf("%v: loss did not decrease (%v -> %v)", cell, first, last)
+		}
+		if last > 2 {
+			t.Fatalf("%v: failed to fit single target (q=%v)", cell, last)
+		}
+	}
+}
+
+func TestSRUCellEquationStructure(t *testing.T) {
+	// With f -> 1 (children pass through) the cell must reduce to
+	// c = cl + cr: force the forget gate high by setting Wf rows to zero
+	// and bf to a large positive value.
+	ps := nn.NewParams()
+	rng := tensor.NewRNG(6)
+	cell := NewSRUCell(ps, "c", 4, rng)
+	bf := ps.Get("c.wf.b")
+	bf.Val.Fill(100) // σ(100) ≈ 1
+	wf := ps.Get("c.wf.W")
+	wf.Val.Zero()
+
+	tp := autodiff.NewTape()
+	x := tp.Input(tensor.Vec{0.1, 0.2, 0.3, 0.4})
+	cl := tp.Input(tensor.Vec{1, 2, 3, 4})
+	cr := tp.Input(tensor.Vec{5, 6, 7, 8})
+	c, _ := cell.Apply(tp, x, cl, cr)
+	for i := range c.Data {
+		want := cl.Data[i] + cr.Data[i]
+		if math.Abs(c.Data[i]-want) > 1e-6 {
+			t.Fatalf("c[%d] = %v, want %v (f≈1 should pass children through)", i, c.Data[i], want)
+		}
+	}
+}
+
+func TestLSTMZeroChildrenLeaf(t *testing.T) {
+	// At a leaf (zero child encodings) the LSTM reduces to c = i ⊙ u.
+	ps := nn.NewParams()
+	rng := tensor.NewRNG(7)
+	cell := NewLSTMCell(ps, "l", 4, rng)
+	tp := autodiff.NewTape()
+	x := tp.Input(tensor.Vec{0.5, -0.5, 1, 0})
+	zero := tp.NewNode(4)
+	c, h := cell.Apply(tp, x, zero, zero)
+	if c.Len() != 4 || h.Len() != 4 {
+		t.Fatal("shapes wrong")
+	}
+	for i := range h.Data {
+		if math.Abs(h.Data[i]) > 1 {
+			t.Fatalf("h[%d] = %v outside tanh*sigmoid range", i, h.Data[i])
+		}
+	}
+}
+
+func TestCellKindString(t *testing.T) {
+	if CellSRU.String() != "sru" || CellLSTM.String() != "lstm" {
+		t.Fatal("cell kind strings")
+	}
+}
+
+func TestFeatureDimMismatchPanics(t *testing.T) {
+	m, _ := testModel(CellSRU, 8)
+	p := testPlan(1, 75)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong feature dim")
+		}
+	}()
+	m.Predict(p, func(*plan.Node) tensor.Vec { return tensor.NewVec(3) })
+}

@@ -1,0 +1,239 @@
+// Package workload generates random training and test queries over the
+// relational graph of a database, following the methodology of Kipf et al.
+// (MSCN) that the paper adopts in §7.1: sample a connected subgraph of the
+// join graph with the requested number of joins, then attach filter
+// predicates whose operands are drawn from the actual column data so
+// selectivities are realistic.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// Generator produces random queries for one database.
+type Generator struct {
+	db    *storage.Database
+	rng   *rand.Rand
+	edges []catalog.JoinEdge
+	adj   [][]int // table adjacency over edges
+}
+
+// NewGenerator returns a deterministic generator for the database using
+// the schema's declared foreign-key join edges.
+func NewGenerator(db *storage.Database, seed int64) *Generator {
+	return newGenerator(db, seed, db.Schema.Edges)
+}
+
+// NewGeneratorDerived additionally uses the implicit FK-FK edges between
+// foreign keys referencing the same primary key (JOB-style fact-to-fact
+// joins), producing denser join graphs.
+func NewGeneratorDerived(db *storage.Database, seed int64) *Generator {
+	edges := append(append([]catalog.JoinEdge(nil), db.Schema.Edges...), db.Schema.DerivedEdges()...)
+	return newGenerator(db, seed, edges)
+}
+
+func newGenerator(db *storage.Database, seed int64, edges []catalog.JoinEdge) *Generator {
+	g := &Generator{
+		db:    db,
+		rng:   rand.New(rand.NewSource(seed)),
+		edges: edges,
+	}
+	g.adj = make([][]int, len(db.Schema.Tables))
+	seen := make([]map[int]bool, len(db.Schema.Tables))
+	for i := range seen {
+		seen[i] = make(map[int]bool)
+	}
+	add := func(a, b int) {
+		if a != b && !seen[a][b] {
+			seen[a][b] = true
+			g.adj[a] = append(g.adj[a], b)
+		}
+	}
+	for _, e := range edges {
+		a, b := e.Left.Table.ID, e.Right.Table.ID
+		add(a, b)
+		add(b, a)
+	}
+	return g
+}
+
+// edgesBetween returns the generator's join edges connecting two tables.
+func (g *Generator) edgesBetween(a, b *catalog.Table) []catalog.JoinEdge {
+	var out []catalog.JoinEdge
+	for _, e := range g.edges {
+		if (e.Left.Table == a && e.Right.Table == b) || (e.Left.Table == b && e.Right.Table == a) {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Query generates one random query with exactly numJoins join conditions
+// (numJoins+1 relations). It panics if the schema cannot support that many
+// joins without repeating a table.
+func (g *Generator) Query(numJoins int) *query.Query {
+	for attempt := 0; ; attempt++ {
+		if q := g.tryQuery(numJoins); q != nil {
+			return q
+		}
+		if attempt > 200 {
+			panic("workload: cannot build a connected query of the requested size")
+		}
+	}
+}
+
+func (g *Generator) tryQuery(numJoins int) *query.Query {
+	schema := g.db.Schema
+	// Random walk over the join graph collecting distinct tables. Starting
+	// from a random fact table keeps deep joins feasible (dimension tables
+	// are leaves of the graph).
+	start := g.rng.Intn(len(schema.Tables))
+	inSet := map[int]bool{start: true}
+	tables := []int{start}
+	var joins []query.Join
+
+	for len(joins) < numJoins {
+		// candidate expansion edges: from any chosen table to a new one
+		type cand struct {
+			from, to int
+		}
+		var cands []cand
+		for _, t := range tables {
+			for _, nb := range g.adj[t] {
+				if !inSet[nb] {
+					cands = append(cands, cand{t, nb})
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return nil // dead end, retry with a new start
+		}
+		c := cands[g.rng.Intn(len(cands))]
+		edges := g.edgesBetween(schema.Tables[c.from], schema.Tables[c.to])
+		e := edges[g.rng.Intn(len(edges))]
+		joins = append(joins, query.Join{Left: e.Left, Right: e.Right})
+		inSet[c.to] = true
+		tables = append(tables, c.to)
+	}
+
+	metas := make([]*catalog.Table, len(tables))
+	for i, id := range tables {
+		metas[i] = schema.Tables[id]
+	}
+	preds := g.predicates(metas)
+	return query.New(metas, joins, preds)
+}
+
+// predicates attaches 1–4 filter predicates to the chosen tables.
+func (g *Generator) predicates(tables []*catalog.Table) []query.Predicate {
+	// collect candidate columns: all attributes, FKs to small enums, and
+	// occasionally primary keys (the paper's example query filters on
+	// title.id ranges).
+	var cands []*catalog.Column
+	for _, t := range tables {
+		for _, c := range t.Columns {
+			switch c.Kind {
+			case catalog.KindAttribute:
+				cands = append(cands, c)
+			case catalog.KindForeignKey:
+				if c.Ref != nil && len(c.Ref.Table.Columns) == 1 {
+					// FK to a pure enum table (kind_type, info_type, ...)
+					cands = append(cands, c)
+				}
+			case catalog.KindPrimaryKey:
+				if g.rng.Float64() < 0.25 {
+					cands = append(cands, c)
+				}
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return nil
+	}
+	n := 1 + g.rng.Intn(4)
+	if n > len(cands) {
+		n = len(cands)
+	}
+	g.rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+
+	var preds []query.Predicate
+	used := map[int]bool{}
+	for _, c := range cands {
+		if len(preds) >= n {
+			break
+		}
+		if used[c.GlobalID] {
+			continue
+		}
+		used[c.GlobalID] = true
+		preds = append(preds, g.predicateOn(c))
+	}
+	return preds
+}
+
+// predicateOn builds one predicate on column c with an operand sampled from
+// the column's live data, so the predicate is never trivially empty.
+func (g *Generator) predicateOn(c *catalog.Column) query.Predicate {
+	tbl := g.db.Table(c.Table)
+	col := tbl.Col(c.Pos)
+	v := col[g.rng.Intn(len(col))]
+
+	lowNDV := c.NDV > 0 && c.NDV <= 64
+	if lowNDV {
+		switch g.rng.Intn(3) {
+		case 0:
+			return query.Predicate{Col: c, Op: query.OpEQ, Operand: v}
+		case 1:
+			// IN list of 2-4 distinct sampled values
+			set := map[int64]bool{v: true}
+			for len(set) < 2+g.rng.Intn(3) {
+				set[col[g.rng.Intn(len(col))]] = true
+			}
+			in := make([]int64, 0, len(set))
+			for x := range set {
+				in = append(in, x)
+			}
+			sort.Slice(in, func(i, j int) bool { return in[i] < in[j] })
+			return query.Predicate{Col: c, Op: query.OpIn, InSet: in}
+		default:
+			return query.Predicate{Col: c, Op: query.OpGT, Operand: v}
+		}
+	}
+	switch g.rng.Intn(5) {
+	case 0:
+		return query.Predicate{Col: c, Op: query.OpLT, Operand: v}
+	case 1:
+		return query.Predicate{Col: c, Op: query.OpLE, Operand: v}
+	case 2:
+		return query.Predicate{Col: c, Op: query.OpGT, Operand: v}
+	case 3:
+		return query.Predicate{Col: c, Op: query.OpGE, Operand: v}
+	default:
+		return query.Predicate{Col: c, Op: query.OpEQ, Operand: v}
+	}
+}
+
+// Queries generates n queries each with exactly numJoins joins.
+func (g *Generator) Queries(n, numJoins int) []*query.Query {
+	out := make([]*query.Query, n)
+	for i := range out {
+		out[i] = g.Query(numJoins)
+	}
+	return out
+}
+
+// QueriesRange generates n queries with join counts drawn uniformly from
+// [minJoins, maxJoins], the paper's training-set recipe (10,000 queries
+// with 6–8 joins).
+func (g *Generator) QueriesRange(n, minJoins, maxJoins int) []*query.Query {
+	out := make([]*query.Query, n)
+	for i := range out {
+		out[i] = g.Query(minJoins + g.rng.Intn(maxJoins-minJoins+1))
+	}
+	return out
+}

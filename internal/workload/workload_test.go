@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/testutil"
+)
+
+func TestQueryHasRequestedJoins(t *testing.T) {
+	db := testutil.TinyDB()
+	g := NewGenerator(db, 1)
+	for _, joins := range []int{1, 2, 4, 6, 8} {
+		q := g.Query(joins)
+		if q.NumJoins() != joins {
+			t.Fatalf("requested %d joins, got %d", joins, q.NumJoins())
+		}
+		if len(q.Tables) != joins+1 {
+			t.Fatalf("%d joins should span %d tables, got %d", joins, joins+1, len(q.Tables))
+		}
+	}
+}
+
+func TestQueriesAreConnected(t *testing.T) {
+	db := testutil.TinyDB()
+	g := NewGenerator(db, 2)
+	for i := 0; i < 50; i++ {
+		q := g.Query(2 + i%7)
+		if !q.Connected(q.AllTablesMask()) {
+			t.Fatalf("query %d is disconnected: %s", i, q.SQL())
+		}
+	}
+}
+
+func TestNoDuplicateTables(t *testing.T) {
+	db := testutil.TinyDB()
+	g := NewGenerator(db, 3)
+	for i := 0; i < 30; i++ {
+		q := g.Query(5)
+		seen := map[int]bool{}
+		for _, tab := range q.Tables {
+			if seen[tab.ID] {
+				t.Fatalf("duplicate table %s", tab.Name)
+			}
+			seen[tab.ID] = true
+		}
+	}
+}
+
+func TestPredicatesPresentAndValid(t *testing.T) {
+	db := testutil.TinyDB()
+	g := NewGenerator(db, 4)
+	for i := 0; i < 30; i++ {
+		q := g.Query(3)
+		if len(q.Preds) < 1 || len(q.Preds) > 4 {
+			t.Fatalf("predicate count %d outside [1,4]", len(q.Preds))
+		}
+		for _, p := range q.Preds {
+			if q.TableIndex(p.Col.Table) < 0 {
+				t.Fatalf("predicate on table %s outside query", p.Col.Table.Name)
+			}
+		}
+	}
+}
+
+func TestDeterministicGeneration(t *testing.T) {
+	db := testutil.TinyDB()
+	a := NewGenerator(db, 99).Queries(10, 4)
+	b := NewGenerator(db, 99).Queries(10, 4)
+	for i := range a {
+		if a[i].SQL() != b[i].SQL() {
+			t.Fatalf("query %d differs:\n%s\n%s", i, a[i].SQL(), b[i].SQL())
+		}
+	}
+}
+
+func TestQueriesRangeBounds(t *testing.T) {
+	db := testutil.TinyDB()
+	qs := NewGenerator(db, 5).QueriesRange(40, 6, 8)
+	seen := map[int]bool{}
+	for _, q := range qs {
+		if q.NumJoins() < 6 || q.NumJoins() > 8 {
+			t.Fatalf("join count %d outside [6,8]", q.NumJoins())
+		}
+		seen[q.NumJoins()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("expected a spread of join counts")
+	}
+}

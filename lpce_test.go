@@ -1,0 +1,89 @@
+package lpce
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIEndToEnd drives the entire documented quick-start flow
+// through the facade, mirroring what a downstream user would write.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	db := GenerateDatabase(DataConfig{Titles: 300, Seed: 1})
+	if db.TotalRows() == 0 {
+		t.Fatal("empty database")
+	}
+	gen := NewWorkloadGenerator(db, 2)
+
+	samples, stats := CollectSamples(db, NewHistogramEstimator(db),
+		gen.QueriesRange(40, 2, 4), 50_000_000)
+	if stats.Collected < 30 {
+		t.Fatalf("collected %d samples", stats.Collected)
+	}
+
+	enc := NewEncoder(db.Schema)
+	logMax := MaxLogCard(samples)
+	model := TrainLPCEI(LPCEIConfig{
+		Teacher: TrainConfig{Hidden: 12, OutWidth: 12, Epochs: 4, NodeWise: true, Seed: 1},
+		Student: TrainConfig{Hidden: 8, OutWidth: 8, Epochs: 3, NodeWise: true, Seed: 1},
+	}, enc, samples, logMax)
+	refiner := TrainRefiner(RefinerConfig{
+		Base: TrainConfig{Hidden: 12, OutWidth: 12, Epochs: 3, NodeWise: true, Seed: 1},
+	}, enc, db, samples, logMax)
+
+	eng := NewEngine(db)
+	q := gen.Query(4)
+	res, err := eng.Execute(q, EngineConfig{
+		Estimator: NewTreeEstimator("lpce-i", model.Model, enc),
+		Refiner:   refiner,
+		Policy:    DefaultReoptPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total() <= 0 {
+		t.Fatal("no time recorded")
+	}
+
+	// same result as the histogram baseline
+	base, err := eng.Execute(q, EngineConfig{Estimator: NewHistogramEstimator(db)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Count != res.Count {
+		t.Fatalf("LPCE changed the result: %d vs %d", res.Count, base.Count)
+	}
+}
+
+func TestDefaultReoptPolicyValues(t *testing.T) {
+	p := DefaultReoptPolicy()
+	if p.QErrThreshold != 50 || p.MaxReopts != 3 {
+		t.Fatalf("policy = %+v", p)
+	}
+}
+
+// TestExperimentFacade smoke-tests the experiment entry points at tiny
+// scale through the public API.
+func TestExperimentFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiny experiment environment still trains several models")
+	}
+	env := SetupExperiments(ScaleTiny, 3)
+	var buf bytes.Buffer
+	// RunExperiments executes the full suite; at tiny scale it completes in
+	// well under a minute, and the rendered report must contain every
+	// table/figure heading.
+	if err := RunExperiments(env, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{
+		"Table 1", "Figure 1", "Table 2", "Figure 11", "Figure 12",
+		"Figure 13", "Figure 14", "Figure 15", "Figure 16", "Figure 17",
+		"Figure 18", "Figures 19-20", "Figure 21", "Table 3",
+	} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("experiment report missing %q", frag)
+		}
+	}
+}
