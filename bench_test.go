@@ -264,3 +264,44 @@ func BenchmarkSRUCellForward(b *testing.B) {
 func newOptimizer(e *experiments.Env) *optimizer.Optimizer {
 	return optimizer.New(e.DB, e.LPCEIEstimator())
 }
+
+// --- Concurrent workload execution: pool + shared estimate cache ---
+
+// BenchmarkParallelWorkload measures aggregate workload throughput at one
+// worker (the serial baseline on the same code path) and at GOMAXPROCS
+// workers, with the histogram stack. b.N counts executed queries.
+func BenchmarkParallelWorkload(b *testing.B) {
+	e := benchSetup(b)
+	cfg := engine.Config{Estimator: e.Histogram, Budget: 100_000_000}
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers != 1 {
+			name = "gomaxprocs"
+		}
+		b.Run(name, func(b *testing.B) {
+			qs := make([]*query.Query, b.N)
+			for i := range qs {
+				qs[i] = e.JoinLow[i%len(e.JoinLow)]
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := experiments.RunParallelWorkload(e.DB, qs, cfg, workers); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkEstimateCacheHit isolates the cache's hot path: a fingerprint,
+// one sharded map lookup, and an atomic counter bump.
+func BenchmarkEstimateCacheHit(b *testing.B) {
+	e := benchSetup(b)
+	q, mask := benchQuery(e)
+	c := cardest.NewCache(e.Histogram)
+	c.EstimateSubset(q, mask) // warm the single key
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.EstimateSubset(q, mask)
+	}
+}

@@ -3,12 +3,15 @@
 // Usage:
 //
 //	lpce-bench [-scale tiny|small|full] [-seed N] [-experiment all|table1|
-//	           figure1|endtoend|refinement|ablations|figure17|figure18] [-o file]
+//	           figure1|endtoend|refinement|ablations|figure17|figure18|
+//	           parallel] [-parallel N] [-o file]
 //
 // The default runs every experiment at small scale and streams the rendered
 // tables to stdout. "endtoend" covers Table 2 and Figures 11–15;
 // "refinement" covers Figure 16 and Table 3; "ablations" covers Figures
-// 19–21.
+// 19–21. "parallel" executes the test workload concurrently across -parallel
+// workers (GOMAXPROCS when 0) and reports aggregate throughput with
+// per-phase latency percentiles against the serial baseline.
 package main
 
 import (
@@ -26,6 +29,7 @@ func main() {
 	scale := flag.String("scale", "small", "experiment scale: tiny, small, or full")
 	seed := flag.Int64("seed", 1, "random seed for data, workload and model init")
 	exp := flag.String("experiment", "all", "experiment to run")
+	workers := flag.Int("parallel", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
 	out := flag.String("o", "", "write output to this file instead of stdout")
 	flag.Parse()
 
@@ -45,14 +49,14 @@ func main() {
 	env := experiments.Setup(experiments.ParseScale(*scale), *seed)
 	fmt.Fprintf(w, "setup done in %s\n\n", time.Since(start).Round(time.Millisecond))
 
-	if err := run(env, *exp, w); err != nil {
+	if err := run(env, *exp, *workers, w); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(w, "\ntotal wall time: %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(env *experiments.Env, exp string, w io.Writer) error {
+func run(env *experiments.Env, exp string, workers int, w io.Writer) error {
 	switch exp {
 	case "all":
 		return experiments.RunAll(env, w)
@@ -93,6 +97,12 @@ func run(env *experiments.Env, exp string, w io.Writer) error {
 		fmt.Fprintln(w, experiments.Figure18(env).Render())
 	case "joblike":
 		r, err := experiments.JobSuite(env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+	case "parallel":
+		r, err := experiments.ParallelBench(env, workers)
 		if err != nil {
 			return err
 		}

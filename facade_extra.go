@@ -3,7 +3,9 @@ package lpce
 import (
 	"io"
 
+	"github.com/lpce-db/lpce/internal/cardest"
 	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/experiments"
 	"github.com/lpce-db/lpce/internal/maintain"
 	"github.com/lpce-db/lpce/internal/sqlparse"
 )
@@ -49,3 +51,33 @@ func NewDriftMonitor(baselineMedianQ, factor float64, windowSize int) *DriftMoni
 // RefreshStats recomputes catalog and histogram statistics after data
 // updates (ANALYZE).
 func RefreshStats(db *Database) { maintain.RefreshStats(db) }
+
+// Concurrent workload execution.
+
+// EstimateCache is a thread-safe sharded read-through cardinality-estimate
+// cache keyed by query fingerprint + relation subset. Share one across
+// workers to amortize model inference over a concurrent workload.
+type EstimateCache = cardest.Cache
+
+// NewEstimateCache wraps an estimator in an empty cache.
+func NewEstimateCache(inner Estimator) *EstimateCache { return cardest.NewCache(inner) }
+
+// LockedEstimator serializes an unaudited estimator behind a mutex so it can
+// participate in concurrent workloads.
+type LockedEstimator = cardest.Locked
+
+// NewLockedEstimator wraps inner.
+func NewLockedEstimator(inner Estimator) *LockedEstimator { return cardest.NewLocked(inner) }
+
+// ParallelRun is the outcome of a concurrent workload execution: per-query
+// results aligned with the input, wall time, and cache counters.
+type ParallelRun = experiments.ParallelRun
+
+// ExecuteParallel plans and executes the queries across workers goroutines
+// (GOMAXPROCS when workers <= 0, serial when 1) sharing cfg's estimator
+// behind an estimate cache. Results are identical to a serial run: every
+// estimator shipped with the repository is deterministic per (query,
+// subset) regardless of call order.
+func ExecuteParallel(db *Database, queries []*Query, cfg EngineConfig, workers int) (ParallelRun, error) {
+	return experiments.RunParallelWorkload(db, queries, cfg, workers)
+}

@@ -1,0 +1,130 @@
+package cardest
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+// cacheShards is the fixed shard count of the estimate cache. Sharding
+// keeps lock contention negligible when many workers consult the cache at
+// once: keys are spread by hash, so two concurrent estimates rarely touch
+// the same mutex.
+const cacheShards = 64
+
+type cacheKey struct {
+	fp   uint64
+	mask query.BitSet
+}
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[cacheKey]float64
+}
+
+// Cache is a thread-safe sharded read-through cardinality-estimate cache
+// keyed by query fingerprint + subset mask. Wrapping an estimator in a
+// Cache makes repeated estimates of the same (query, subset) pair — from
+// re-optimizations of one query or from many concurrent workers running
+// the same workload — cost one map lookup instead of a model inference.
+//
+// A cache miss computes the inner estimate outside any lock, so a slow
+// inner estimator never blocks readers of other keys; two workers racing
+// on the same cold key may both compute it, which is harmless because
+// every estimator in the repository is deterministic per (query, subset).
+type Cache struct {
+	Inner  Estimator
+	shards [cacheShards]cacheShard
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// NewCache wraps inner in an empty cache.
+func NewCache(inner Estimator) *Cache {
+	c := &Cache{Inner: inner}
+	for i := range c.shards {
+		c.shards[i].m = make(map[cacheKey]float64)
+	}
+	return c
+}
+
+// Name implements Estimator.
+func (c *Cache) Name() string { return c.Inner.Name() + "+cache" }
+
+// EstimateSubset implements Estimator with read-through caching.
+func (c *Cache) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
+	if q == nil {
+		return c.Inner.EstimateSubset(q, mask)
+	}
+	k := cacheKey{fp: q.Fingerprint(), mask: mask}
+	s := &c.shards[(k.fp^uint64(mask)*0x9e3779b97f4a7c15)%cacheShards]
+	s.mu.RLock()
+	v, ok := s.m[k]
+	s.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+		return v
+	}
+	v = c.Inner.EstimateSubset(q, mask)
+	c.misses.Add(1)
+	s.mu.Lock()
+	s.m[k] = v
+	s.mu.Unlock()
+	return v
+}
+
+// Stats returns the accumulated hit and miss counters.
+func (c *Cache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// Len returns the number of cached estimates.
+func (c *Cache) Len() int {
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		n += len(s.m)
+		s.mu.RUnlock()
+	}
+	return n
+}
+
+// Reset discards every cached estimate and zeroes the counters.
+func (c *Cache) Reset() {
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.m = make(map[cacheKey]float64)
+		s.mu.Unlock()
+	}
+	c.hits.Store(0)
+	c.misses.Store(0)
+}
+
+var _ Estimator = (*Cache)(nil)
+
+// Locked serializes every EstimateSubset call of an estimator behind one
+// mutex. It is the blunt instrument for third-party estimators whose
+// concurrency behaviour has not been audited; the in-repo estimators are
+// all safe for concurrent reads and do not need it.
+type Locked struct {
+	mu    sync.Mutex
+	inner Estimator
+}
+
+// NewLocked wraps inner.
+func NewLocked(inner Estimator) *Locked { return &Locked{inner: inner} }
+
+// Name implements Estimator.
+func (l *Locked) Name() string { return l.inner.Name() }
+
+// EstimateSubset implements Estimator under the mutex.
+func (l *Locked) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inner.EstimateSubset(q, mask)
+}
+
+var _ Estimator = (*Locked)(nil)

@@ -1,0 +1,134 @@
+package cardest
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+func cacheFixtureQueries() []*query.Query {
+	s := catalog.NewSchema()
+	a := s.AddTable("a", catalog.PK("id"), catalog.Attr("x"))
+	b := s.AddTable("b", catalog.FK("a_id", a.Column("id")))
+	q1 := query.New([]*catalog.Table{a, b},
+		[]query.Join{{Left: b.Column("a_id"), Right: a.Column("id")}}, nil)
+	q2 := query.New([]*catalog.Table{a, b},
+		[]query.Join{{Left: b.Column("a_id"), Right: a.Column("id")}},
+		[]query.Predicate{{Col: a.Column("x"), Op: query.OpGT, Operand: 3}})
+	return []*query.Query{q1, q2}
+}
+
+func TestCacheReadThrough(t *testing.T) {
+	var calls atomic.Int64
+	inner := FuncEstimator{Label: "counting", Fn: func(q *query.Query, m query.BitSet) float64 {
+		calls.Add(1)
+		return float64(q.Fingerprint()%1000) + float64(m)
+	}}
+	c := NewCache(inner)
+	if c.Name() != "counting+cache" {
+		t.Fatalf("name = %s", c.Name())
+	}
+	qs := cacheFixtureQueries()
+	m := qs[0].AllTablesMask()
+
+	first := c.EstimateSubset(qs[0], m)
+	if got := c.EstimateSubset(qs[0], m); got != first {
+		t.Fatalf("cached value changed: %v then %v", first, got)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("inner called %d times, want 1", calls.Load())
+	}
+	// distinct queries have distinct fingerprints, so no false sharing
+	if c.EstimateSubset(qs[1], m); calls.Load() != 2 {
+		t.Fatalf("second query should miss, calls = %d", calls.Load())
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 2 {
+		t.Fatalf("stats = %d/%d, want 1 hit, 2 misses", hits, misses)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	c.Reset()
+	if hits, misses := c.Stats(); hits != 0 || misses != 0 || c.Len() != 0 {
+		t.Fatalf("reset left hits=%d misses=%d len=%d", hits, misses, c.Len())
+	}
+}
+
+func TestCacheNilQueryPassthrough(t *testing.T) {
+	var calls atomic.Int64
+	inner := FuncEstimator{Label: "n", Fn: func(*query.Query, query.BitSet) float64 {
+		calls.Add(1)
+		return 7
+	}}
+	c := NewCache(inner)
+	c.EstimateSubset(nil, 3)
+	c.EstimateSubset(nil, 3)
+	if calls.Load() != 2 {
+		t.Fatalf("nil queries must bypass the cache, calls = %d", calls.Load())
+	}
+	if c.Len() != 0 {
+		t.Fatal("nil query polluted the cache")
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	inner := FuncEstimator{Label: "f", Fn: func(q *query.Query, m query.BitSet) float64 {
+		return float64(m) * 2
+	}}
+	c := NewCache(inner)
+	qs := cacheFixtureQueries()
+	var wg sync.WaitGroup
+	bad := atomic.Bool{}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				q := qs[i%len(qs)]
+				m := query.BitSet(1 + i%3)
+				if c.EstimateSubset(q, m) != float64(m)*2 {
+					bad.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if bad.Load() {
+		t.Fatal("concurrent cached estimate diverged")
+	}
+	hits, misses := c.Stats()
+	if hits+misses != 8*500 {
+		t.Fatalf("counters lost updates: %d + %d != 4000", hits, misses)
+	}
+}
+
+func TestLockedSerializes(t *testing.T) {
+	// a deliberately racy inner estimator: Locked must make it safe
+	counter := 0
+	inner := FuncEstimator{Label: "racy", Fn: func(*query.Query, query.BitSet) float64 {
+		counter++
+		return float64(counter)
+	}}
+	l := NewLocked(inner)
+	if l.Name() != "racy" {
+		t.Fatalf("name = %s", l.Name())
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				l.EstimateSubset(nil, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != 8*200 {
+		t.Fatalf("lost updates through Locked: %d", counter)
+	}
+}

@@ -16,6 +16,12 @@ import (
 // query's relations (with all applicable filter predicates pushed down).
 // The optimizer calls it once per connected subset during plan enumeration,
 // so a Join-eight query costs up to 2⁹−1 = 511 estimates.
+//
+// Implementations must be safe for concurrent EstimateSubset calls and must
+// return the same value for the same (query, subset) pair regardless of
+// call order — the concurrent workload runner shares one estimator across
+// all workers and asserts parallel runs reproduce serial ones exactly.
+// Wrap an unaudited estimator in Locked if it mutates internal state.
 type Estimator interface {
 	Name() string
 	EstimateSubset(q *query.Query, mask query.BitSet) float64
@@ -23,6 +29,10 @@ type Estimator interface {
 
 // Timed wraps an estimator and accumulates the wall-clock time spent inside
 // it. The engine reads Time as the query's model inference time T_I.
+//
+// Timed is deliberately NOT safe for concurrent use: it is per-query
+// instrumentation, and the engine allocates a fresh Timed per execution.
+// Concurrent workloads share the inner estimator, never the Timed wrapper.
 type Timed struct {
 	Inner Estimator
 	Time  time.Duration

@@ -2,6 +2,7 @@ package datadriven
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 
 	"github.com/lpce-db/lpce/internal/cardest"
@@ -215,9 +216,9 @@ func (e *FactorHist) Name() string { return "flat-sim" }
 
 // EstimateSubset implements cardest.Estimator.
 func (e *FactorHist) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
-	stratified := func(rows []int32, walk int) int32 {
+	stratified := func(rng *rand.Rand, rows []int32, walk int) int32 {
 		// systematic sampling with a random phase per call position
-		pos := (walk*len(rows))/e.numWalks + e.s.rng.Intn(maxI(len(rows)/e.numWalks, 1))
+		pos := (walk*len(rows))/e.numWalks + rng.Intn(maxI(len(rows)/e.numWalks, 1))
 		if pos >= len(rows) {
 			pos = len(rows) - 1
 		}
@@ -258,7 +259,10 @@ func NewCalibratedSample(db *storage.Database, numWalks int, seed int64) *Calibr
 }
 
 // Calibrate fits the per-join-count corrections from (query, subset, true
-// cardinality) triples, e.g. harvested from the training plans.
+// cardinality) triples, e.g. harvested from the training plans. Calibrate
+// is a setup-time operation: it must not run concurrently with
+// EstimateSubset calls (the correction map is read without locking on the
+// estimate hot path).
 func (e *CalibratedSample) Calibrate(examples []CalibrationExample) {
 	byJoins := make(map[int][]float64)
 	for _, ex := range examples {

@@ -27,6 +27,7 @@ package datadriven
 
 import (
 	"math/rand"
+	"sync"
 
 	"github.com/lpce-db/lpce/internal/query"
 	"github.com/lpce-db/lpce/internal/storage"
@@ -71,30 +72,58 @@ func walkPlan(q *query.Query, mask query.BitSet) []walkStep {
 	return steps
 }
 
-// sampler holds the shared wander-join machinery.
+// sampler holds the shared wander-join machinery. It is safe for
+// concurrent use: the filtered-row cache is guarded by a mutex, and walk
+// randomness comes from a per-call generator derived deterministically from
+// (sampler seed, query fingerprint, subset mask) — so an estimate never
+// depends on which other estimates ran before it, and parallel workloads
+// reproduce serial ones bit for bit.
 type sampler struct {
-	db  *storage.Database
-	rng *rand.Rand
+	db   *storage.Database
+	seed int64
 
-	// per-query cache of filtered start-table row lists
-	cachedQuery *query.Query
-	startRows   map[int][]int32
+	// mu guards startRows, the per-query cache of filtered start-table row
+	// lists.
+	mu        sync.Mutex
+	startRows map[*query.Query]map[int][]int32
 }
 
+// startRowsCacheCap bounds the number of queries with cached filtered-row
+// lists; beyond it the whole cache is dropped. Row lists are bounded by
+// table sizes, so this caps sampler memory at a small multiple of the
+// database size even under endless workloads.
+const startRowsCacheCap = 128
+
 func newSampler(db *storage.Database, seed int64) *sampler {
-	return &sampler{db: db, rng: rand.New(rand.NewSource(seed))}
+	return &sampler{db: db, seed: seed, startRows: make(map[*query.Query]map[int][]int32)}
+}
+
+// rngFor derives the walk generator for one estimate call. Mixing the query
+// fingerprint and mask into the seed keeps estimates independent of call
+// order while still varying the walks across subsets.
+func (s *sampler) rngFor(q *query.Query, mask query.BitSet) *rand.Rand {
+	h := uint64(s.seed)*0x9e3779b97f4a7c15 + q.Fingerprint()
+	h ^= uint64(mask) * 0xbf58476d1ce4e5b9
+	h ^= h >> 29
+	h *= 0x94d049bb133111eb
+	h ^= h >> 32
+	return rand.New(rand.NewSource(int64(h)))
 }
 
 // filteredRows returns (and caches per query) the row IDs of table i that
 // satisfy the query's predicates on it.
 func (s *sampler) filteredRows(q *query.Query, i int) []int32 {
-	if s.cachedQuery != q {
-		s.cachedQuery = q
-		s.startRows = make(map[int][]int32)
+	s.mu.Lock()
+	if perQ, ok := s.startRows[q]; ok {
+		if rows, ok := perQ[i]; ok {
+			s.mu.Unlock()
+			return rows
+		}
 	}
-	if rows, ok := s.startRows[i]; ok {
-		return rows
-	}
+	s.mu.Unlock()
+
+	// compute outside the lock (pure function of immutable query + table
+	// data); concurrent duplicates produce identical slices
 	meta := q.Tables[i]
 	tab := s.db.Table(meta)
 	preds := q.PredsOn(meta)
@@ -111,7 +140,18 @@ func (s *sampler) filteredRows(q *query.Query, i int) []int32 {
 			rows = append(rows, int32(r))
 		}
 	}
-	s.startRows[i] = rows
+
+	s.mu.Lock()
+	if len(s.startRows) >= startRowsCacheCap {
+		s.startRows = make(map[*query.Query]map[int][]int32)
+	}
+	perQ := s.startRows[q]
+	if perQ == nil {
+		perQ = make(map[int][]int32)
+		s.startRows[q] = perQ
+	}
+	perQ[i] = rows
+	s.mu.Unlock()
 	return rows
 }
 
@@ -127,8 +167,9 @@ func (s *sampler) filteredRows(q *query.Query, i int) []int32 {
 // nearly every walk.
 //
 // startAt optionally overrides the start-row choice (used by the stratified
-// variant); pass nil for uniform starts.
-func (s *sampler) wander(q *query.Query, mask query.BitSet, numWalks int, startAt func(rows []int32, walk int) int32) float64 {
+// variant); pass nil for uniform starts. The rng handed to startAt is the
+// walk generator, so stratified phases stay deterministic per call.
+func (s *sampler) wander(q *query.Query, mask query.BitSet, numWalks int, startAt func(rng *rand.Rand, rows []int32, walk int) int32) float64 {
 	steps := walkPlan(q, mask)
 	start := s.filteredRows(q, steps[0].tableIdx)
 	if len(start) == 0 {
@@ -138,15 +179,16 @@ func (s *sampler) wander(q *query.Query, mask query.BitSet, numWalks int, startA
 		return float64(len(start))
 	}
 
+	rng := s.rngFor(q, mask)
 	var total float64
 	assignment := make(map[int]int32, len(steps)) // local table idx -> row
 	var survivors []int32
 	for walk := 0; walk < numWalks; walk++ {
 		var startRow int32
 		if startAt != nil {
-			startRow = startAt(start, walk)
+			startRow = startAt(rng, start, walk)
 		} else {
-			startRow = start[s.rng.Intn(len(start))]
+			startRow = start[rng.Intn(len(start))]
 		}
 		w := float64(len(start))
 		assignment[steps[0].tableIdx] = startRow
@@ -170,7 +212,7 @@ func (s *sampler) wander(q *query.Query, mask query.BitSet, numWalks int, startA
 				break
 			}
 			w *= float64(len(survivors))
-			assignment[st.tableIdx] = survivors[s.rng.Intn(len(survivors))]
+			assignment[st.tableIdx] = survivors[rng.Intn(len(survivors))]
 		}
 		if alive {
 			total += w
@@ -208,7 +250,7 @@ func (s *sampler) fallbackEstimate(q *query.Query, mask query.BitSet) float64 {
 
 // wanderWithFallback runs wander and falls back to the independence
 // estimate when no walk survives.
-func (s *sampler) wanderWithFallback(q *query.Query, mask query.BitSet, numWalks int, startAt func(rows []int32, walk int) int32) float64 {
+func (s *sampler) wanderWithFallback(q *query.Query, mask query.BitSet, numWalks int, startAt func(rng *rand.Rand, rows []int32, walk int) int32) float64 {
 	v := s.wander(q, mask, numWalks, startAt)
 	if v >= 1 {
 		return v

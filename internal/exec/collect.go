@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"sync"
 
 	"github.com/lpce-db/lpce/internal/plan"
 	"github.com/lpce-db/lpce/internal/query"
@@ -142,7 +143,8 @@ func collectJoin(ctx *Ctx, n *plan.Node, left, right [][]int64) ([][]int64, erro
 // only single-table hash builds are buffered, so memory stays bounded even
 // for huge results; a work budget bounds time. It is the ground-truth
 // estimator in accuracy experiments and tests. Results are memoized per
-// (query, subset).
+// (query, subset); the memo is mutex-guarded, so one oracle may be shared
+// across concurrent workload workers.
 type TrueCardOracle struct {
 	DB *storage.Database
 	// Budget bounds the work per exact count; zero means unlimited.
@@ -150,7 +152,9 @@ type TrueCardOracle struct {
 	// queries whose true cardinality is computable (the paper analogously
 	// selects test queries by their PostgreSQL execution time).
 	Budget int64
-	cache  map[oracleKey]float64
+
+	mu    sync.RWMutex
+	cache map[oracleKey]float64
 }
 
 type oracleKey struct {
@@ -169,17 +173,25 @@ func (o *TrueCardOracle) Name() string { return "oracle" }
 // TryEstimate returns the exact cardinality of joining the subset, or
 // ErrBudget when the count is not computable within the oracle's budget.
 func (o *TrueCardOracle) TryEstimate(q *query.Query, mask query.BitSet) (float64, error) {
-	if v, ok := o.cache[oracleKey{q, mask}]; ok {
+	k := oracleKey{q, mask}
+	o.mu.RLock()
+	v, ok := o.cache[k]
+	o.mu.RUnlock()
+	if ok {
 		return v, nil
 	}
+	// compute outside the lock: exact counts are deterministic, so racing
+	// duplicates write the same value
 	node := CanonicalPlan(q, mask)
 	ctx := &Ctx{DB: o.DB, Q: q, Budget: o.Budget}
 	count, err := Run(ctx, node)
 	if err != nil {
 		return 0, err
 	}
-	v := float64(count)
-	o.cache[oracleKey{q, mask}] = v
+	v = float64(count)
+	o.mu.Lock()
+	o.cache[k] = v
+	o.mu.Unlock()
 	return v, nil
 }
 

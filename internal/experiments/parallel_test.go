@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/engine"
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+// TestParallelMatchesSerial is the tentpole correctness proof: running the
+// workload across many workers must reproduce the serial run exactly —
+// same cardinality estimates, same chosen plans, same row counts — for a
+// sampling data-driven estimator, the histogram, and the full LPCE-R
+// re-optimization stack.
+func TestParallelMatchesSerial(t *testing.T) {
+	e := env(t)
+	queries := e.JoinLow
+	if len(queries) > 4 {
+		queries = queries[:4]
+	}
+	cfgs := []struct {
+		name string
+		cfg  engine.Config
+	}{
+		// sampling estimator: proves per-call RNG derivation makes walk
+		// randomness independent of scheduling
+		{"NeuroCard", engine.Config{Estimator: e.NeuroCard, Budget: e.P.budget}},
+		{"PostgreSQL", engine.Config{Estimator: e.Histogram, Budget: e.P.budget}},
+		// re-optimization path: replans and overlays must also be stable
+		{"LPCE-R", engine.Config{Estimator: e.LPCEIEstimator(), Refiner: e.Refiner, Budget: e.P.budget}},
+	}
+	for _, tc := range cfgs {
+		serial, err := RunParallelWorkload(e.DB, queries, tc.cfg, 1)
+		if err != nil {
+			t.Fatalf("%s serial: %v", tc.name, err)
+		}
+		par, err := RunParallelWorkload(e.DB, queries, tc.cfg, 8)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", tc.name, err)
+		}
+		for i := range queries {
+			s, p := serial.Results[i], par.Results[i]
+			if s.Count != p.Count || s.TimedOut != p.TimedOut {
+				t.Fatalf("%s query %d: serial count=%d timeout=%v, parallel count=%d timeout=%v",
+					tc.name, i, s.Count, s.TimedOut, p.Count, p.TimedOut)
+			}
+			if s.Reopts != p.Reopts {
+				t.Fatalf("%s query %d: serial reopts=%d, parallel reopts=%d", tc.name, i, s.Reopts, p.Reopts)
+			}
+			if s.EstimateCalls != p.EstimateCalls {
+				t.Fatalf("%s query %d: serial estimate calls=%d, parallel=%d",
+					tc.name, i, s.EstimateCalls, p.EstimateCalls)
+			}
+			sp, pp := s.FinalPlan.String(), p.FinalPlan.String()
+			if sp != pp {
+				t.Fatalf("%s query %d: plans diverge\nserial:\n%s\nparallel:\n%s", tc.name, i, sp, pp)
+			}
+		}
+	}
+}
+
+// TestParallelCacheSharing checks the shared cache actually absorbs repeated
+// estimates: running the same query list twice in one workload makes the
+// second pass hit for every subset.
+func TestParallelCacheSharing(t *testing.T) {
+	e := env(t)
+	qs := append(append([]*query.Query(nil), e.JoinLow[:2]...), e.JoinLow[:2]...)
+	run, err := RunParallelWorkload(e.DB, qs, engine.Config{Estimator: e.Histogram, Budget: e.P.budget}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.CacheHits == 0 {
+		t.Fatal("duplicated queries produced zero cache hits")
+	}
+	if run.HitRate() <= 0 || run.HitRate() >= 1 {
+		t.Fatalf("hit rate = %v, want in (0,1)", run.HitRate())
+	}
+}
+
+// TestSharedEstimatorHammer drives one shared estimator + cache from 8
+// goroutines over overlapping (query, mask) pairs. Run under -race this is
+// the concurrency audit's enforcement test.
+func TestSharedEstimatorHammer(t *testing.T) {
+	e := env(t)
+	ests := []cardest.Estimator{e.NeuroCard, e.DeepDB, e.FLAT, e.UAE, e.Histogram, e.LPCEIEstimator(), e.Oracle}
+	qs := e.JoinLow
+	if len(qs) > 3 {
+		qs = qs[:3]
+	}
+	for _, est := range ests {
+		cache := cardest.NewCache(est)
+		want := make(map[*query.Query]map[query.BitSet]float64)
+		for _, q := range qs {
+			want[q] = make(map[query.BitSet]float64)
+			for mask := query.BitSet(1); mask <= q.AllTablesMask(); mask++ {
+				if q.Connected(mask) {
+					want[q][mask] = est.EstimateSubset(q, mask)
+				}
+			}
+		}
+		var wg sync.WaitGroup
+		errs := make(chan string, 8)
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rep := 0; rep < 3; rep++ {
+					for _, q := range qs {
+						for mask, w := range want[q] {
+							if got := cache.EstimateSubset(q, mask); got != w {
+								select {
+								case errs <- est.Name():
+								default:
+								}
+								return
+							}
+						}
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if name, ok := <-errs; ok {
+			t.Fatalf("%s: concurrent estimate diverged from serial value", name)
+		}
+		if hits, misses := cache.Stats(); hits == 0 || misses == 0 {
+			t.Fatalf("%s: cache counters hits=%d misses=%d", est.Name(), hits, misses)
+		}
+	}
+}
+
+func TestParallelBenchRenders(t *testing.T) {
+	e := env(t)
+	r, err := ParallelBench(e, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, frag := range []string{"Concurrent workload execution", "PostgreSQL", "LPCE-I", "LPCE-R", "q/s", "p99", "total"} {
+		if !strings.Contains(out, frag) {
+			t.Fatalf("render missing %q:\n%s", frag, out)
+		}
+	}
+	for _, p := range r.Par {
+		if p.Workers != 4 || len(p.Results) < len(e.JoinLow) || len(p.Results)%len(e.JoinLow) != 0 {
+			t.Fatalf("parallel run shape wrong: workers=%d results=%d", p.Workers, len(p.Results))
+		}
+		// cycling the query set must make the shared cache pay off
+		if p.CacheHits == 0 {
+			t.Fatalf("%s: repeated workload produced no cache hits", p.Name)
+		}
+	}
+}

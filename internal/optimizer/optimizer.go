@@ -201,15 +201,15 @@ func (o *Optimizer) bestScan(q *query.Query, idx int, estCard float64) *dpEntry 
 	seq.EstCost = seqCost
 	bestE := &dpEntry{node: seq, cost: seqCost}
 
-	// Index scan: any predicate except != can drive an index. The number of
-	// rows fetched through the index is the selectivity of that single
-	// predicate; with k predicates on the table we interpolate between the
-	// full estimate (k=1) and the table size geometrically.
+	// Index scan: any predicate except != can drive an index. Each candidate
+	// is costed with its own selectivity from the catalog statistics, so the
+	// scan drives through the most selective predicate rather than whichever
+	// happens to come first in the query.
 	for pi := range preds {
 		if preds[pi].Op == query.OpNE {
 			continue
 		}
-		matches := indexMatches(estCard, rows, len(preds))
+		matches := indexMatches(preds[pi], estCard, rows, len(preds))
 		cost := o.Cost.IndexScanCost(matches)
 		if cost < bestE.cost {
 			node := plan.NewLeaf(plan.IndexScan, t, idx, preds)
@@ -222,14 +222,62 @@ func (o *Optimizer) bestScan(q *query.Query, idx int, estCard float64) *dpEntry 
 	return bestE
 }
 
-// indexMatches estimates how many rows a single-predicate index fetch
-// returns when the combined selectivity of k predicates yields estCard.
-func indexMatches(estCard, rows float64, k int) float64 {
+// indexMatches estimates how many rows an index fetch driven by predicate p
+// returns when the combined selectivity of all k predicates yields estCard.
+// The driving predicate alone matches at least estCard rows (the other
+// predicates only filter further) and at most the whole table.
+func indexMatches(p query.Predicate, estCard, rows float64, k int) float64 {
 	if k <= 1 || estCard >= rows {
 		return estCard
 	}
-	// geometric interpolation: one predicate accounts for the k-th root of
-	// the combined selectivity
+	if sel := predSelectivity(p); sel >= 0 {
+		m := rows * sel
+		if m < estCard {
+			m = estCard
+		}
+		if m > rows {
+			m = rows
+		}
+		return m
+	}
+	// no statistics: geometric interpolation — one predicate accounts for
+	// the k-th root of the combined selectivity
 	sel := estCard / rows
 	return rows * math.Pow(sel, 1/float64(k))
+}
+
+// predSelectivity estimates the standalone selectivity of one predicate from
+// the catalog column statistics (uniformity assumption over NDV for equality
+// and over the [Min, Max] span for ranges), or -1 when the statistics cannot
+// price it.
+func predSelectivity(p query.Predicate) float64 {
+	c := p.Col
+	switch p.Op {
+	case query.OpEQ:
+		if c.NDV > 0 {
+			return 1 / float64(c.NDV)
+		}
+	case query.OpIn:
+		if c.NDV > 0 {
+			return float64(len(p.InSet)) / float64(c.NDV)
+		}
+	case query.OpLT, query.OpLE, query.OpGT, query.OpGE:
+		span := float64(c.Max-c.Min) + 1
+		if span <= 1 {
+			return -1 // stats absent or single-valued column
+		}
+		var frac float64
+		switch p.Op {
+		case query.OpLT:
+			frac = float64(p.Operand-c.Min) / span
+		case query.OpLE:
+			frac = float64(p.Operand-c.Min+1) / span
+		case query.OpGT:
+			frac = float64(c.Max-p.Operand) / span
+		case query.OpGE:
+			frac = float64(c.Max-p.Operand+1) / span
+		}
+		return math.Min(math.Max(frac, 0), 1)
+	}
+	return -1
 }

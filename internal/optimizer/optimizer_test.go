@@ -190,15 +190,72 @@ func TestDisconnectedQueryFails(t *testing.T) {
 }
 
 func TestIndexMatchesInterpolation(t *testing.T) {
-	if got := indexMatches(100, 10000, 1); got != 100 {
+	// without column statistics the geometric interpolation fallback applies
+	noStats := query.Predicate{Col: &catalog.Column{}, Op: query.OpEQ}
+	if got := indexMatches(noStats, 100, 10000, 1); got != 100 {
 		t.Fatalf("k=1 should return estCard, got %v", got)
 	}
-	got := indexMatches(100, 10000, 2)
+	got := indexMatches(noStats, 100, 10000, 2)
 	if got <= 100 || got >= 10000 {
 		t.Fatalf("k=2 interpolation %v outside (100, 10000)", got)
 	}
-	if got := indexMatches(20000, 10000, 2); got != 20000 {
+	if got := indexMatches(noStats, 20000, 10000, 2); got != 20000 {
 		t.Fatalf("estCard >= rows should pass through, got %v", got)
+	}
+	// with statistics the driving predicate's own selectivity prices the
+	// fetch, never below the combined estimate
+	eq := query.Predicate{Col: &catalog.Column{NDV: 100}, Op: query.OpEQ}
+	if got := indexMatches(eq, 50, 10000, 2); got != 100 {
+		t.Fatalf("NDV-priced matches = %v, want 10000/100", got)
+	}
+	if got := indexMatches(eq, 500, 10000, 2); got != 500 {
+		t.Fatalf("matches = %v, want clamp up to estCard 500", got)
+	}
+}
+
+func TestPredSelectivityFromStats(t *testing.T) {
+	c := &catalog.Column{Min: 1, Max: 100, NDV: 100}
+	cases := []struct {
+		p    query.Predicate
+		want float64
+	}{
+		{query.Predicate{Col: c, Op: query.OpEQ, Operand: 7}, 0.01},
+		{query.Predicate{Col: c, Op: query.OpIn, InSet: []int64{1, 2, 3, 4, 5}}, 0.05},
+		{query.Predicate{Col: c, Op: query.OpLE, Operand: 50}, 0.5},
+		{query.Predicate{Col: c, Op: query.OpGE, Operand: 51}, 0.5},
+		{query.Predicate{Col: c, Op: query.OpLT, Operand: 1}, 0},
+		{query.Predicate{Col: c, Op: query.OpGT, Operand: 100}, 0},
+		{query.Predicate{Col: c, Op: query.OpNE, Operand: 5}, -1},
+		{query.Predicate{Col: &catalog.Column{}, Op: query.OpEQ, Operand: 5}, -1},
+		{query.Predicate{Col: &catalog.Column{}, Op: query.OpLT, Operand: 5}, -1},
+	}
+	for i, tc := range cases {
+		if got := predSelectivity(tc.p); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("case %d: selectivity = %v, want %v", i, got, tc.want)
+		}
+	}
+}
+
+func TestIndexPredPicksMostSelective(t *testing.T) {
+	// Regression: bestScan used to compute the index-fetch size
+	// loop-invariantly, so the index predicate always landed on the first
+	// non-!= predicate regardless of selectivity.
+	db := testutil.TinyDB()
+	title := db.Schema.Table("title")
+	year := title.Column("production_year")
+	id := title.Column("id")
+	preds := []query.Predicate{
+		{Col: year, Op: query.OpGE, Operand: year.Min}, // matches every row
+		{Col: id, Op: query.OpEQ, Operand: id.Min},     // matches one row
+	}
+	q := query.New([]*catalog.Table{title}, nil, preds)
+	o := oracleOpt(db)
+	e := o.bestScan(q, 0, 1)
+	if e.node.Op != plan.IndexScan {
+		t.Fatalf("scan op = %v, want IndexScan for a one-row equality", e.node.Op)
+	}
+	if e.node.IndexPred == nil || e.node.IndexPred.Col != id {
+		t.Fatalf("index predicate on %v, want the equality on title.id", e.node.IndexPred)
 	}
 }
 

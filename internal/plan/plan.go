@@ -157,6 +157,17 @@ func (n *Node) Clone() *Node {
 	cp.Right = n.Right.Clone()
 	cp.Preds = append([]query.Predicate(nil), n.Preds...)
 	cp.JoinConds = append([]query.Join(nil), n.JoinConds...)
+	// remap IndexPred into the cloned Preds slice: the executor identifies
+	// the index-driving predicate by pointer, so a clone pointing into the
+	// original's slice would silently re-apply it as a residual filter
+	if n.IndexPred != nil {
+		for i := range n.Preds {
+			if &n.Preds[i] == n.IndexPred {
+				cp.IndexPred = &cp.Preds[i]
+				break
+			}
+		}
+	}
 	return &cp
 }
 

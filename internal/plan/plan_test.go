@@ -82,6 +82,24 @@ func TestCloneIndependence(t *testing.T) {
 	}
 }
 
+func TestCloneRemapsIndexPred(t *testing.T) {
+	_, q := fixture()
+	a := q.Tables[0]
+	preds := []query.Predicate{
+		{Col: a.Column("id"), Op: query.OpGE, Operand: 0},
+		{Col: a.Column("x"), Op: query.OpEQ, Operand: 1},
+	}
+	n := NewLeaf(IndexScan, a, 0, preds)
+	n.IndexPred = &n.Preds[1]
+	cp := n.Clone()
+	if cp.IndexPred == n.IndexPred {
+		t.Fatal("clone's IndexPred aliases the original's Preds slice")
+	}
+	if cp.IndexPred != &cp.Preds[1] {
+		t.Fatal("clone's IndexPred not remapped into its own Preds slice")
+	}
+}
+
 func TestStringRendering(t *testing.T) {
 	_, q := fixture()
 	root := buildTree(q)

@@ -110,13 +110,15 @@ func (j Join) String() string {
 	return j.Left.QualifiedName() + " = " + j.Right.QualifiedName()
 }
 
-// Query is a COUNT(*) select-project-equijoin query.
+// Query is a COUNT(*) select-project-equijoin query. A Query is immutable
+// after New and safe for concurrent use.
 type Query struct {
 	Tables []*catalog.Table
 	Joins  []Join
 	Preds  []Predicate
 
 	tableIdx map[int]int // catalog table ID -> local index
+	fp       uint64      // structural fingerprint, frozen at construction
 }
 
 // New builds a query and freezes its table ordering (sorted by catalog ID so
@@ -135,7 +137,43 @@ func New(tables []*catalog.Table, joins []Join, preds []Predicate) *Query {
 	for _, p := range preds {
 		q.mustHave(p.Col.Table)
 	}
+	q.fp = q.computeFingerprint()
 	return q
+}
+
+// Fingerprint returns a stable structural hash of the query (tables, join
+// conditions, predicates with operands). Two queries over the same catalog
+// with identical structure share a fingerprint across processes and runs,
+// which is what keys the shared cardinality-estimate cache.
+func (q *Query) Fingerprint() uint64 { return q.fp }
+
+func (q *Query) computeFingerprint() uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	mix := func(v uint64) {
+		v *= 0xbf58476d1ce4e5b9
+		v ^= v >> 27
+		h = (h ^ v) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	for _, t := range q.Tables {
+		mix(uint64(t.ID))
+	}
+	mix(uint64(len(q.Joins)))
+	for _, j := range q.Joins {
+		mix(uint64(j.Left.GlobalID))
+		mix(uint64(j.Right.GlobalID))
+	}
+	mix(uint64(len(q.Preds)))
+	for _, p := range q.Preds {
+		mix(uint64(p.Col.GlobalID))
+		mix(uint64(p.Op))
+		mix(uint64(p.Operand))
+		mix(uint64(len(p.InSet)))
+		for _, v := range p.InSet {
+			mix(uint64(v))
+		}
+	}
+	return h
 }
 
 func (q *Query) mustHave(t *catalog.Table) {

@@ -18,8 +18,11 @@ import (
 // baseline for progressive estimation with data-driven or histogram
 // estimators, and the ablation benches compare the two.
 type Overlay struct {
-	Base  cardest.Estimator
-	execs []Executed
+	Base cardest.Estimator
+	// exact holds the observed cardinality per executed subset. Repeated
+	// executions of the same subset are deduped at construction, last
+	// observation winning (later re-optimizations see fresher counts).
+	exact map[query.BitSet]float64
 	// ratio of true/estimated cardinality per executed subset, used to
 	// rescale containing subsets.
 	ratios map[query.BitSet]float64
@@ -30,13 +33,22 @@ type Overlay struct {
 // subset (exact-cardinality correction needs both sides of the ratio); pass
 // nil to disable ratio scaling.
 func NewOverlay(base cardest.Estimator, execs []Executed, estimates map[query.BitSet]float64) *Overlay {
-	o := &Overlay{Base: base, execs: execs, ratios: make(map[query.BitSet]float64)}
+	o := &Overlay{
+		Base:   base,
+		exact:  make(map[query.BitSet]float64, len(execs)),
+		ratios: make(map[query.BitSet]float64),
+	}
 	for _, e := range execs {
+		o.exact[e.Mask] = e.Card
 		if estimates == nil {
 			continue
 		}
 		if est, ok := estimates[e.Mask]; ok && est >= 1 && e.Card >= 1 {
 			o.ratios[e.Mask] = e.Card / est
+		} else {
+			// a stale ratio from an earlier execution of this subset must not
+			// survive the fresher observation
+			delete(o.ratios, e.Mask)
 		}
 	}
 	return o
@@ -48,21 +60,26 @@ func (o *Overlay) Name() string { return o.Base.Name() + "+overlay" }
 // EstimateSubset implements cardest.Estimator.
 func (o *Overlay) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
 	// exact cardinalities for executed subsets
-	for _, e := range o.execs {
-		if e.Mask == mask {
-			return e.Card
-		}
+	if card, ok := o.exact[mask]; ok {
+		return card
 	}
 	est := o.Base.EstimateSubset(q, mask)
 	// error-propagation correction: scale by the largest contained
 	// executed sub-plan's observed error ratio (errors propagate
-	// multiplicatively up the join tree, the paper's §1 observation)
+	// multiplicatively up the join tree, the paper's §1 observation).
+	// Equal-size candidates tie-break on the smaller mask value so the
+	// choice never depends on map iteration order — replans must be
+	// reproducible run to run.
 	best := 0
+	bestMask := query.BitSet(0)
 	ratio := 1.0
 	for m, r := range o.ratios {
-		if m&mask == m && m.Count() > best {
-			best = m.Count()
-			ratio = r
+		if m&mask != m {
+			continue
+		}
+		c := m.Count()
+		if c > best || (c == best && best > 0 && m < bestMask) {
+			best, bestMask, ratio = c, m, r
 		}
 	}
 	v := est * ratio

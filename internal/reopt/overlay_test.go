@@ -76,6 +76,49 @@ func TestOverlayLargestContainedWins(t *testing.T) {
 	}
 }
 
+func TestOverlayEqualSizeTieBreakDeterministic(t *testing.T) {
+	s := testQuerySchema()
+	q := s.q
+	base := cardest.Fixed{Value: 100, Label: "base"}
+	ab := query.NewBitSet().Set(0).Set(1) // mask 0b011
+	bc := query.NewBitSet().Set(1).Set(2) // mask 0b110
+	execs := []Executed{
+		{Mask: bc, Card: 300},  // ratio 3
+		{Mask: ab, Card: 1000}, // ratio 10
+	}
+	estimates := map[query.BitSet]float64{ab: 100, bc: 100}
+	full := q.AllTablesMask()
+	// both executed subsets are the same size and both are contained in the
+	// full mask; the smaller mask value (ab) must win every time, never the
+	// map iteration order of the moment
+	for trial := 0; trial < 50; trial++ {
+		o := NewOverlay(base, execs, estimates)
+		if got := o.EstimateSubset(q, full); got != 1000 {
+			t.Fatalf("trial %d: estimate = %v, want 1000 (ratio of smaller-mask subset)", trial, got)
+		}
+	}
+}
+
+func TestOverlayDedupLastWriteWins(t *testing.T) {
+	s := testQuerySchema()
+	q := s.q
+	base := cardest.Fixed{Value: 100, Label: "base"}
+	sub := query.NewBitSet().Set(0).Set(1)
+	// the same subset executed twice: the later observation is fresher and
+	// must win for both the exact lookup and the ratio
+	execs := []Executed{
+		{Mask: sub, Card: 200},
+		{Mask: sub, Card: 5000},
+	}
+	o := NewOverlay(base, execs, map[query.BitSet]float64{sub: 100})
+	if got := o.EstimateSubset(q, sub); got != 5000 {
+		t.Fatalf("exact = %v, want last-written 5000", got)
+	}
+	if got := o.EstimateSubset(q, q.AllTablesMask()); got != 5000 {
+		t.Fatalf("containing = %v, want 100*50 from the last-written ratio", got)
+	}
+}
+
 // chainFixture holds a 3-table chain query (a–b–c).
 type chainFixture struct{ q *query.Query }
 

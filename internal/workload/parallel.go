@@ -1,0 +1,63 @@
+package workload
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunParallel executes fn(i) for every i in [0, n) across a pool of worker
+// goroutines pulling indices from a shared atomic counter (work stealing, so
+// uneven per-item costs balance automatically). workers <= 0 defaults to
+// GOMAXPROCS; workers == 1 runs serially on the calling goroutine, making
+// serial baselines share this exact code path.
+//
+// The first error stops the pool: remaining workers drain without picking up
+// new indices, and that error is returned. fn must be safe to call
+// concurrently from multiple goroutines for distinct indices.
+func RunParallel(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next    atomic.Int64
+		stopped atomic.Bool
+		errOnce sync.Once
+		firstEr error
+		wg      sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || stopped.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					stopped.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstEr
+}

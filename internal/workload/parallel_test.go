@@ -1,0 +1,62 @@
+package workload
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunParallelCoversEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 8, 100} {
+		const n = 57
+		var hits [n]atomic.Int32
+		if err := RunParallel(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d executed %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunParallelEmptyAndSerial(t *testing.T) {
+	if err := RunParallel(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	// workers == 1 preserves order
+	var order []int
+	if err := RunParallel(5, 1, func(i int) error {
+		order = append(order, i)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestRunParallelStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int32
+	err := RunParallel(10_000, 4, func(i int) error {
+		calls.Add(1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c := calls.Load(); c == 10_000 {
+		t.Fatal("pool did not stop early after the error")
+	}
+}
