@@ -4,7 +4,8 @@
 //
 //	lpce-bench [-scale tiny|small|full] [-seed N] [-experiment all|table1|
 //	           figure1|endtoend|refinement|ablations|figure17|figure18|
-//	           parallel] [-parallel N] [-o file]
+//	           parallel|observe] [-parallel N] [-o file]
+//	           [-trace] [-metrics-out file] [-bench-out file]
 //
 // The default runs every experiment at small scale and streams the rendered
 // tables to stdout. "endtoend" covers Table 2 and Figures 11–15;
@@ -12,9 +13,17 @@
 // 19–21. "parallel" executes the test workload concurrently across -parallel
 // workers (GOMAXPROCS when 0) and reports aggregate throughput with
 // per-phase latency percentiles against the serial baseline.
+//
+// -trace (equivalently -experiment observe) runs the JOB-like named suite
+// with the full observability layer on and renders per-operator runtime
+// stats, re-optimization events, and the CE-evaluation q-error tables.
+// -metrics-out writes the complete observability report as JSON (implies
+// -trace); -bench-out writes the BENCH_e2e.json perf snapshot (per-phase
+// time distributions + q-error summary per configuration).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,7 +40,16 @@ func main() {
 	exp := flag.String("experiment", "all", "experiment to run")
 	workers := flag.Int("parallel", 0, "worker count for the parallel experiment (0 = GOMAXPROCS)")
 	out := flag.String("o", "", "write output to this file instead of stdout")
+	trace := flag.Bool("trace", false, "run the observability pass over the JOB-like suite")
+	metricsOut := flag.String("metrics-out", "", "write the full observability report as JSON to this file (implies -trace)")
+	benchOut := flag.String("bench-out", "", "write the BENCH_e2e.json perf snapshot to this file (implies -trace)")
 	flag.Parse()
+	if *metricsOut != "" || *benchOut != "" {
+		*trace = true
+	}
+	if *trace && *exp == "all" {
+		*exp = "observe"
+	}
 
 	var w io.Writer = os.Stdout
 	if *out != "" {
@@ -49,14 +67,23 @@ func main() {
 	env := experiments.Setup(experiments.ParseScale(*scale), *seed)
 	fmt.Fprintf(w, "setup done in %s\n\n", time.Since(start).Round(time.Millisecond))
 
-	if err := run(env, *exp, *workers, w); err != nil {
+	opts := obsOpts{metricsOut: *metricsOut, benchOut: *benchOut, scale: *scale, seed: *seed}
+	if err := run(env, *exp, *workers, w, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	fmt.Fprintf(w, "\ntotal wall time: %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-func run(env *experiments.Env, exp string, workers int, w io.Writer) error {
+// obsOpts carries the observability output destinations into run.
+type obsOpts struct {
+	metricsOut string
+	benchOut   string
+	scale      string
+	seed       int64
+}
+
+func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpts) error {
 	switch exp {
 	case "all":
 		return experiments.RunAll(env, w)
@@ -107,8 +134,35 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(w, r.Render())
+	case "observe":
+		r, err := experiments.Observability(env, workers)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+		if opts.metricsOut != "" {
+			if err := writeJSON(opts.metricsOut, r); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "observability report written to %s\n", opts.metricsOut)
+		}
+		if opts.benchOut != "" {
+			if err := writeJSON(opts.benchOut, r.Snapshot(opts.scale, opts.seed)); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "perf snapshot written to %s\n", opts.benchOut)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 	return nil
+}
+
+// writeJSON writes v to path as indented JSON.
+func writeJSON(path string, v any) error {
+	raw, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }

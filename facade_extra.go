@@ -7,6 +7,7 @@ import (
 	"github.com/lpce-db/lpce/internal/core"
 	"github.com/lpce-db/lpce/internal/experiments"
 	"github.com/lpce-db/lpce/internal/maintain"
+	"github.com/lpce-db/lpce/internal/obs"
 	"github.com/lpce-db/lpce/internal/sqlparse"
 )
 
@@ -80,4 +81,35 @@ type ParallelRun = experiments.ParallelRun
 // subset) regardless of call order.
 func ExecuteParallel(db *Database, queries []*Query, cfg EngineConfig, workers int) (ParallelRun, error) {
 	return experiments.RunParallelWorkload(db, queries, cfg, workers)
+}
+
+// Observability.
+
+// Observer is the sink of the observability layer: per-operator runtime
+// stats, re-optimization event traces, CE evaluation of every cardinality
+// estimate, and a metrics registry. Set EngineConfig.Obs to enable it; one
+// observer may be shared by any number of concurrent workers.
+type Observer = obs.Observer
+
+// NewObserver returns an empty observer.
+func NewObserver() *Observer { return obs.NewObserver() }
+
+// QueryTrace is one query's structured execution trace (per-operator stats
+// per execution attempt, re-optimization events, phase times); available as
+// Result.Trace when the engine ran with an observer.
+type QueryTrace = obs.QueryTrace
+
+// ObsReport is the aggregated, JSON-serializable view of everything an
+// observer collected; built with Observer.Report().
+type ObsReport = obs.Report
+
+// MetricsRegistry interns named counters, gauges, and histograms. All
+// operations are goroutine-safe and nil-safe.
+type MetricsRegistry = obs.Registry
+
+// NewEstimateCacheWithMetrics wraps an estimator in an empty cache whose
+// hit/miss counters are interned in the registry, so they appear in the
+// observer's report alongside the engine metrics.
+func NewEstimateCacheWithMetrics(inner Estimator, reg *MetricsRegistry) *EstimateCache {
+	return cardest.NewCacheWithMetrics(inner, reg)
 }

@@ -2,8 +2,8 @@ package cardest
 
 import (
 	"sync"
-	"sync/atomic"
 
+	"github.com/lpce-db/lpce/internal/obs"
 	"github.com/lpce-db/lpce/internal/query"
 )
 
@@ -36,13 +36,31 @@ type cacheShard struct {
 type Cache struct {
 	Inner  Estimator
 	shards [cacheShards]cacheShard
-	hits   atomic.Int64
-	misses atomic.Int64
+	// hits and misses live on the obs metrics registry (standalone counters
+	// when the cache was built without one), so every counter in the
+	// repository is read through one API.
+	hits   *obs.Counter
+	misses *obs.Counter
 }
 
-// NewCache wraps inner in an empty cache.
+// NewCache wraps inner in an empty cache with standalone hit/miss counters.
 func NewCache(inner Estimator) *Cache {
+	return NewCacheWithMetrics(inner, nil)
+}
+
+// NewCacheWithMetrics wraps inner in an empty cache whose hit/miss counters
+// are interned in reg as "cardest.cache.hits" / "cardest.cache.misses", so
+// they appear in the registry's snapshot alongside every other metric. A
+// nil registry falls back to standalone counters.
+func NewCacheWithMetrics(inner Estimator, reg *obs.Registry) *Cache {
 	c := &Cache{Inner: inner}
+	if reg != nil {
+		c.hits = reg.Counter("cardest.cache.hits")
+		c.misses = reg.Counter("cardest.cache.misses")
+	} else {
+		c.hits = &obs.Counter{}
+		c.misses = &obs.Counter{}
+	}
 	for i := range c.shards {
 		c.shards[i].m = make(map[cacheKey]float64)
 	}
@@ -63,11 +81,11 @@ func (c *Cache) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
 	v, ok := s.m[k]
 	s.mu.RUnlock()
 	if ok {
-		c.hits.Add(1)
+		c.hits.Inc()
 		return v
 	}
 	v = c.Inner.EstimateSubset(q, mask)
-	c.misses.Add(1)
+	c.misses.Inc()
 	s.mu.Lock()
 	s.m[k] = v
 	s.mu.Unlock()
@@ -76,7 +94,7 @@ func (c *Cache) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
 
 // Stats returns the accumulated hit and miss counters.
 func (c *Cache) Stats() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+	return c.hits.Value(), c.misses.Value()
 }
 
 // Len returns the number of cached estimates.
@@ -99,8 +117,8 @@ func (c *Cache) Reset() {
 		s.m = make(map[cacheKey]float64)
 		s.mu.Unlock()
 	}
-	c.hits.Store(0)
-	c.misses.Store(0)
+	c.hits.Reset()
+	c.misses.Reset()
 }
 
 var _ Estimator = (*Cache)(nil)

@@ -8,11 +8,13 @@ package engine
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"github.com/lpce-db/lpce/internal/cardest"
 	"github.com/lpce-db/lpce/internal/core"
 	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/obs"
 	"github.com/lpce-db/lpce/internal/optimizer"
 	"github.com/lpce-db/lpce/internal/plan"
 	"github.com/lpce-db/lpce/internal/query"
@@ -39,6 +41,11 @@ type Config struct {
 	// Budget bounds executor work units per query; exceeded queries are
 	// reported as timeouts. Zero means unlimited.
 	Budget int64
+	// Obs, when non-nil, turns on the observability layer: per-operator
+	// runtime stats in the executor, re-optimization event tracing, CE
+	// evaluation of every cardinality estimate, and engine-level metrics.
+	// The observer may be shared by concurrent workers. Nil costs nothing.
+	Obs *obs.Observer
 }
 
 // Result is the outcome and time decomposition of one query execution.
@@ -51,8 +58,16 @@ type Result struct {
 	Reopts    int
 	TimedOut  bool
 	FinalPlan *plan.Node
+	// ExecWork is the total executor work units consumed across all
+	// execution attempts — a deterministic, load-insensitive proxy for
+	// execution cost (wall times above vary with machine load).
+	ExecWork int64
 	// EstimateCalls counts initial-optimization estimator invocations.
 	EstimateCalls int
+	// Trace is the structured execution trace (per-operator stats per
+	// attempt, re-optimization events, phase times); nil unless Config.Obs
+	// was set.
+	Trace *obs.QueryTrace
 }
 
 // Total returns the end-to-end time T_end.
@@ -70,6 +85,20 @@ func New(db *storage.Database) *Engine { return &Engine{DB: db} }
 
 // Execute runs the query end to end.
 func (e *Engine) Execute(q *query.Query, cfg Config) (Result, error) {
+	var qt *obs.QueryTrace
+	if cfg.Obs != nil {
+		qt = cfg.Obs.NewQueryTrace(q.Fingerprint(), cfg.Estimator.Name())
+	}
+	res, err := e.execute(q, cfg, qt)
+	if qt != nil && err == nil {
+		finishTrace(q, cfg.Obs, qt, &res)
+	}
+	return res, err
+}
+
+// execute is Execute's body, with the optional query trace threaded through
+// the optimizer, the executor contexts, and the re-optimization controller.
+func (e *Engine) execute(q *query.Query, cfg Config, qt *obs.QueryTrace) (Result, error) {
 	var res Result
 	if cfg.Policy.QErrThreshold == 0 {
 		cfg.Policy = reopt.DefaultPolicy()
@@ -79,6 +108,7 @@ func (e *Engine) Execute(q *query.Query, cfg Config) (Result, error) {
 	// T_P; estimator time is T_I.
 	timed := cardest.NewTimed(cfg.Estimator)
 	opt := optimizer.New(e.DB, timed)
+	opt.CE = cfg.Obs.CE().Recorder(cfg.Estimator.Name())
 	start := time.Now()
 	p, stats, err := opt.Plan(q)
 	if err != nil {
@@ -92,6 +122,7 @@ func (e *Engine) Execute(q *query.Query, cfg Config) (Result, error) {
 	var rctrl *reopt.Controller
 	if cfg.Refiner != nil || cfg.OverlayReopt {
 		rctrl = reopt.NewController(cfg.Policy)
+		rctrl.Trace = qt
 		ctrl = rctrl
 	}
 
@@ -99,10 +130,11 @@ func (e *Engine) Execute(q *query.Query, cfg Config) (Result, error) {
 		if rctrl != nil {
 			rctrl.SetPlan(p)
 		}
-		ctx := &exec.Ctx{DB: e.DB, Q: q, Controller: ctrl, Budget: cfg.Budget}
+		ctx := &exec.Ctx{DB: e.DB, Q: q, Controller: ctrl, Budget: cfg.Budget, Trace: qt.NewRound()}
 		execStart := time.Now()
 		count, err := exec.Run(ctx, p)
 		res.ExecTime += time.Since(execStart)
+		res.ExecWork += ctx.Work()
 		switch {
 		case err == nil:
 			res.Count = count
@@ -123,14 +155,83 @@ func (e *Engine) Execute(q *query.Query, cfg Config) (Result, error) {
 			// search count toward T_R (paper Eq. 8).
 			rctrl.ClearTrigger()
 			reoptStart := time.Now()
+			prev := p
 			p, err = e.replan(q, cfg, rctrl)
 			res.ReoptTime += time.Since(reoptStart)
 			if err != nil {
 				return res, err
 			}
+			qt.AttachPlanDiff(planDiff(prev, p))
 			res.Reopts = rctrl.Reopts
 		}
 	}
+}
+
+// planDiff summarises how re-planning changed the plan: how many of the new
+// plan's operators (identified by physical operator + covered subset) did
+// not exist in the old one.
+func planDiff(old, cur *plan.Node) string {
+	if old == nil || cur == nil {
+		return ""
+	}
+	type opKey struct {
+		op   plan.PhysOp
+		mask query.BitSet
+	}
+	before := make(map[opKey]bool)
+	old.Walk(func(n *plan.Node) { before[opKey{n.Op, n.Tables}] = true })
+	changed, total := 0, 0
+	cur.Walk(func(n *plan.Node) {
+		total++
+		if !before[opKey{n.Op, n.Tables}] {
+			changed++
+		}
+	})
+	if changed == 0 {
+		return "plan unchanged"
+	}
+	return fmt.Sprintf("%d/%d operators changed", changed, total)
+}
+
+// finishTrace stamps the finished query's outcome on its trace, joins the
+// observed true cardinalities into the CE evaluation, bumps the engine
+// metrics, and publishes the trace.
+func finishTrace(q *query.Query, o *obs.Observer, qt *obs.QueryTrace, res *Result) {
+	qt.PlanTime = res.PlanTime
+	qt.InferTime = res.InferTime
+	qt.ReoptTime = res.ReoptTime
+	qt.ExecTime = res.ExecTime
+	qt.Count = res.Count
+	qt.TimedOut = res.TimedOut
+	qt.ExecWork = res.ExecWork
+
+	// Every completed operator yields an exact cardinality for its subset —
+	// the trace is the CE evaluation's source of true labels.
+	ce := o.CE()
+	fp := q.Fingerprint()
+	for _, rd := range qt.Rounds {
+		for _, op := range rd.Ops {
+			if op.ActualRows >= 0 {
+				ce.RecordTrue(fp, op.Mask, op.ActualRows)
+			}
+		}
+	}
+
+	m := o.Registry()
+	m.Counter("engine.queries").Inc()
+	if res.TimedOut {
+		m.Counter("engine.timeouts").Inc()
+	}
+	m.Counter("engine.reopts").Add(int64(res.Reopts))
+	m.Counter("engine.estimate_calls").Add(int64(res.EstimateCalls))
+	m.Histogram("engine.plan_seconds").Observe(res.PlanTime.Seconds())
+	m.Histogram("engine.infer_seconds").Observe(res.InferTime.Seconds())
+	m.Histogram("engine.reopt_seconds").Observe(res.ReoptTime.Seconds())
+	m.Histogram("engine.exec_seconds").Observe(res.ExecTime.Seconds())
+	m.Histogram("engine.total_seconds").Observe(res.Total().Seconds())
+
+	o.Observe(qt)
+	res.Trace = qt
 }
 
 // replan refines the remaining estimates and searches a new plan that may
@@ -155,6 +256,10 @@ func (e *Engine) replan(q *query.Query, cfg Config, rctrl *reopt.Controller) (*p
 		refined = reopt.NewOverlay(cfg.Estimator, execs, estimates)
 	}
 	opt := optimizer.New(e.DB, refined)
+	// Replan estimates are recorded under the refined estimator's own name,
+	// so the CE report separates initial estimates from overlay/refinement
+	// ones.
+	opt.CE = cfg.Obs.CE().Recorder(refined.Name())
 	p, _, err := opt.PlanWithMaterialized(q, rctrl.Materialized())
 	return p, err
 }

@@ -1,7 +1,6 @@
 package engine
 
 import (
-	"math"
 	"sync"
 	"testing"
 
@@ -187,12 +186,14 @@ func TestDefaultPolicyApplied(t *testing.T) {
 func TestLPCERReducesBadPlanWork(t *testing.T) {
 	// The headline claim at micro scale: with a terrible initial estimator,
 	// enabling LPCE-R re-optimization should not increase total executor
-	// work across a workload, and should usually decrease it.
+	// work across a workload, and should usually decrease it. Compared in
+	// deterministic executor work units (Result.ExecWork) rather than wall
+	// time, which varies with machine load.
 	db, _, refiner := fixture(t)
 	e := New(db)
 	g := workload.NewGenerator(db, 118)
 
-	var withoutWork, withWork float64
+	var withoutWork, withWork int64
 	for i := 0; i < 8; i++ {
 		q := g.Query(4)
 		bad := cardest.Fixed{Value: 2, Label: "bad"}
@@ -211,15 +212,16 @@ func TestLPCERReducesBadPlanWork(t *testing.T) {
 		if r1.Count != r2.Count {
 			t.Fatalf("counts diverge: %d vs %d", r1.Count, r2.Count)
 		}
-		withoutWork += r1.ExecTime.Seconds()
-		withWork += r2.ExecTime.Seconds() + r2.ReoptTime.Seconds()
+		if r1.ExecWork <= 0 || r2.ExecWork <= 0 {
+			t.Fatalf("work accounting missing: %d vs %d", r1.ExecWork, r2.ExecWork)
+		}
+		withoutWork += r1.ExecWork
+		withWork += r2.ExecWork
 	}
-	// Allow some slack: at tiny scale reopt overhead can dominate; the
-	// guard is against catastrophic regressions.
+	// Allow some slack: re-optimized executions replay materialized
+	// intermediates, so per-query work can exceed the uninterrupted run's;
+	// the guard is against catastrophic regressions.
 	if withWork > withoutWork*3 {
-		t.Fatalf("re-optimization tripled total time: %.4fs vs %.4fs", withWork, withoutWork)
-	}
-	if math.IsNaN(withWork) {
-		t.Fatal("NaN timing")
+		t.Fatalf("re-optimization tripled total work: %d vs %d units", withWork, withoutWork)
 	}
 }

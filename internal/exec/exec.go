@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/lpce-db/lpce/internal/obs"
 	"github.com/lpce-db/lpce/internal/plan"
 	"github.com/lpce-db/lpce/internal/query"
 	"github.com/lpce-db/lpce/internal/storage"
@@ -64,6 +65,12 @@ type Ctx struct {
 	DB         *storage.Database
 	Q          *query.Query
 	Controller Controller
+	// Trace, when non-nil, collects per-operator runtime stats (rows,
+	// estimated vs actual cardinality, inclusive wall time) for this
+	// execution attempt: Build wraps every operator in a timing shim. A nil
+	// Trace leaves the operator tree untouched, so disabled tracing costs
+	// nothing.
+	Trace *obs.ExecTrace
 	// Budget bounds the total work units (tuples scanned, probed, emitted);
 	// zero means unlimited.
 	Budget int64
@@ -90,24 +97,35 @@ type Operator interface {
 	Close()
 }
 
-// Build constructs the operator tree for a physical plan.
+// Build constructs the operator tree for a physical plan. With ctx.Trace
+// set, every operator (this node and, through the recursive constructor
+// calls, all children) is wrapped in a stats-collecting shim.
 func Build(ctx *Ctx, n *plan.Node) (Operator, error) {
+	var op Operator
+	var err error
 	switch n.Op {
 	case plan.SeqScan:
-		return newSeqScan(ctx, n), nil
+		op = newSeqScan(ctx, n)
 	case plan.IndexScan:
-		return newIndexScan(ctx, n)
+		op, err = newIndexScan(ctx, n)
 	case plan.MatScan:
-		return newMatScan(n), nil
+		op = newMatScan(n)
 	case plan.HashJoin:
-		return newHashJoin(ctx, n)
+		op, err = newHashJoin(ctx, n)
 	case plan.MergeJoin:
-		return newMergeJoin(ctx, n)
+		op, err = newMergeJoin(ctx, n)
 	case plan.NestLoopJoin:
-		return newNLJoin(ctx, n)
+		op, err = newNLJoin(ctx, n)
 	default:
 		return nil, fmt.Errorf("exec: unknown operator %v", n.Op)
 	}
+	if err != nil {
+		return nil, err
+	}
+	if ctx.Trace != nil {
+		op = &tracedOp{inner: op, node: n, tr: ctx.Trace}
+	}
+	return op, nil
 }
 
 // Run executes the plan and returns the COUNT(*) result. On a

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/engine"
+	"github.com/lpce-db/lpce/internal/joblike"
+	"github.com/lpce-db/lpce/internal/obs"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+// ObsRun is one configuration's fully-observed workload execution: the
+// aggregated observability report plus the run's wall time.
+type ObsRun struct {
+	Name   string        `json:"name"`
+	Wall   time.Duration `json:"wall_ns"`
+	Report *obs.Report   `json:"report"`
+}
+
+// QPS returns the run's aggregate throughput in queries per second.
+func (r ObsRun) QPS() float64 {
+	if r.Wall <= 0 || r.Report == nil {
+		return 0
+	}
+	return float64(r.Report.Queries) / r.Wall.Seconds()
+}
+
+// ObsResult is the observability experiment's outcome: the JOB-like named
+// suite executed under the representative configurations, each with its own
+// Observer collecting per-operator stats, re-optimization events, CE
+// evaluation, and engine metrics.
+type ObsResult struct {
+	Label   string   `json:"workload"`
+	Workers int      `json:"workers"`
+	Runs    []ObsRun `json:"runs"`
+}
+
+// Observability executes the JOB-like named suite under the PostgreSQL,
+// LPCE-I, and LPCE-R configurations with the full observability layer on:
+// every engine.Config carries a fresh Observer, and the estimator is shared
+// across workers behind a metrics-registered estimate cache, so cache
+// hit/miss counters land in the same report as everything else. Queries run
+// across a pool of workers goroutines (GOMAXPROCS when workers <= 0); the
+// observer is the shared sink, exercising its goroutine-safety.
+func Observability(e *Env, workers int) (*ObsResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	queries, err := joblike.Queries(e.DB.Schema)
+	if err != nil {
+		return nil, err
+	}
+	wl := make([]*query.Query, 0, len(queries))
+	for _, name := range joblike.Names() {
+		wl = append(wl, queries[name])
+	}
+	want := map[string]bool{"PostgreSQL": true, "LPCE-I": true, "LPCE-R": true}
+	res := &ObsResult{Label: fmt.Sprintf("JOB-like suite (%d queries)", len(wl)), Workers: workers}
+	eng := engine.New(e.DB)
+	for _, rc := range e.Configs() {
+		if !want[rc.Name] {
+			continue
+		}
+		o := obs.NewObserver()
+		cfg := rc.Cfg
+		cfg.Obs = o
+		cfg.Estimator = cardest.NewCacheWithMetrics(cfg.Estimator, o.Registry())
+		start := time.Now()
+		err := workload.RunParallel(len(wl), workers, func(i int) error {
+			if _, err := eng.Execute(wl[i], cfg); err != nil {
+				return fmt.Errorf("%s: %w", joblike.Names()[i], err)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", rc.Name, err)
+		}
+		res.Runs = append(res.Runs, ObsRun{Name: rc.Name, Wall: time.Since(start), Report: o.Report()})
+	}
+	return res, nil
+}
+
+// Render formats the observability reports for terminal output: one summary
+// table across configurations, then per-configuration phase, operator, and
+// CE-evaluation tables.
+func (r *ObsResult) Render() string {
+	var b strings.Builder
+	sum := &Table{
+		Title:  fmt.Sprintf("Observability: %s, %d workers", r.Label, r.Workers),
+		Header: []string{"config", "queries", "timeouts", "reopts", "wall", "q/s", "cache hit%"},
+	}
+	for _, run := range r.Runs {
+		rep := run.Report
+		hits := rep.Metrics.Counters["cardest.cache.hits"]
+		misses := rep.Metrics.Counters["cardest.cache.misses"]
+		hitRate := 0.0
+		if hits+misses > 0 {
+			hitRate = float64(hits) / float64(hits+misses)
+		}
+		sum.AddRow(run.Name, fmt.Sprint(rep.Queries), fmt.Sprint(rep.Timeouts), fmt.Sprint(rep.Reopts),
+			run.Wall.Round(time.Millisecond).String(), FmtF(run.QPS()), FmtPct(hitRate))
+	}
+	b.WriteString(sum.String())
+
+	for _, run := range r.Runs {
+		rep := run.Report
+		b.WriteString("\n")
+		pt := &Table{
+			Title:  fmt.Sprintf("%s: phase latency (Eq. 7 decomposition)", run.Name),
+			Header: []string{"phase", "p50", "p90", "p99", "max"},
+		}
+		for _, ph := range rep.Phases {
+			pt.AddRow(ph.Phase, FmtDur(ph.Seconds.P50), FmtDur(ph.Seconds.P90),
+				FmtDur(ph.Seconds.P99), FmtDur(ph.Seconds.Max))
+		}
+		b.WriteString(pt.String())
+
+		b.WriteString("\n")
+		ot := &Table{
+			Title:  fmt.Sprintf("%s: per-operator runtime stats", run.Name),
+			Header: []string{"operator", "instances", "rows", "wall", "q-err p50", "q-err p99"},
+		}
+		for _, op := range rep.Operators {
+			ot.AddRow(op.Op, fmt.Sprint(op.Count), fmt.Sprint(op.Rows), FmtDur(op.WallSeconds),
+				FmtF(op.QError.P50), FmtF(op.QError.P99))
+		}
+		b.WriteString(ot.String())
+
+		for _, ce := range rep.CE {
+			b.WriteString("\n")
+			ct := &Table{
+				Title: fmt.Sprintf("%s: CE evaluation of %q (%d estimates matched, %d never executed)",
+					run.Name, ce.Estimator, ce.Matched, ce.Unmatched),
+				Header: []string{"subset size", "samples", "q-err p50", "p90", "p99", "max"},
+			}
+			for _, row := range ce.Sizes {
+				ct.AddRow(fmt.Sprint(row.Size), fmt.Sprint(row.Samples),
+					FmtF(row.P50), FmtF(row.P90), FmtF(row.P99), FmtF(row.Max))
+			}
+			b.WriteString(ct.String())
+		}
+	}
+	return b.String()
+}
+
+// BenchConfigSnapshot is one configuration's entry in the perf snapshot.
+type BenchConfigSnapshot struct {
+	Name        string                  `json:"name"`
+	Queries     int                     `json:"queries"`
+	Timeouts    int                     `json:"timeouts"`
+	Reopts      int                     `json:"reopts"`
+	WallSeconds float64                 `json:"wall_seconds"`
+	QPS         float64                 `json:"qps"`
+	Phases      []obs.PhaseSummary      `json:"phases"`
+	CE          []obs.CEEstimatorReport `json:"ce_evaluation,omitempty"`
+}
+
+// BenchSnapshot is the machine-readable perf snapshot written as
+// BENCH_e2e.json: per-configuration phase-time distributions and q-error
+// summaries of the JOB-like regression suite, comparable across versions.
+type BenchSnapshot struct {
+	Scale    string                `json:"scale"`
+	Seed     int64                 `json:"seed"`
+	Workload string                `json:"workload"`
+	Workers  int                   `json:"workers"`
+	Configs  []BenchConfigSnapshot `json:"configs"`
+}
+
+// Snapshot reduces the observability result to the perf snapshot.
+func (r *ObsResult) Snapshot(scale string, seed int64) BenchSnapshot {
+	s := BenchSnapshot{Scale: scale, Seed: seed, Workload: r.Label, Workers: r.Workers}
+	for _, run := range r.Runs {
+		rep := run.Report
+		s.Configs = append(s.Configs, BenchConfigSnapshot{
+			Name: run.Name, Queries: rep.Queries, Timeouts: rep.Timeouts, Reopts: rep.Reopts,
+			WallSeconds: run.Wall.Seconds(), QPS: run.QPS(),
+			Phases: rep.Phases, CE: rep.CE,
+		})
+	}
+	return s
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+// ceKey identifies one estimated sub-plan: a query fingerprint plus the
+// relation-subset mask, matching the estimate cache's key.
+type ceKey struct {
+	fp   uint64
+	mask query.BitSet
+}
+
+// CERecorder captures every EstimateSubset call of one estimator — the
+// "record all intermediate CE results" half of a CE-evaluation framework.
+// True cardinalities are held by the owning CEEval (they are
+// estimator-independent) and joined in at report time. Goroutine-safe; a
+// nil recorder ignores all operations.
+type CERecorder struct {
+	estimator string
+
+	mu   sync.Mutex
+	ests map[ceKey]float64
+}
+
+// RecordEstimate stores the estimate an estimator produced for one
+// (query, subset) pair. Repeated estimates of the same pair overwrite;
+// every in-repo estimator is deterministic per pair, so the last value
+// equals the first.
+func (r *CERecorder) RecordEstimate(fingerprint uint64, mask query.BitSet, est float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ests[ceKey{fingerprint, mask}] = est
+	r.mu.Unlock()
+}
+
+// Len returns the number of recorded estimates.
+func (r *CERecorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ests)
+}
+
+// CEEval coordinates CE evaluation across estimators: one CERecorder per
+// estimator name, plus the shared pool of true cardinalities observed
+// during execution. Goroutine-safe; a nil CEEval hands out nil recorders
+// and ignores true-cardinality reports.
+type CEEval struct {
+	mu    sync.Mutex
+	recs  map[string]*CERecorder
+	trues map[ceKey]float64
+}
+
+// NewCEEval returns an empty evaluator.
+func NewCEEval() *CEEval {
+	return &CEEval{recs: make(map[string]*CERecorder), trues: make(map[ceKey]float64)}
+}
+
+// Recorder returns the recorder for the named estimator, creating it on
+// first use. Returns nil on a nil evaluator.
+func (e *CEEval) Recorder(estimator string) *CERecorder {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	r, ok := e.recs[estimator]
+	if !ok {
+		r = &CERecorder{estimator: estimator, ests: make(map[ceKey]float64)}
+		e.recs[estimator] = r
+	}
+	return r
+}
+
+// RecordTrue stores the exact cardinality observed for one (query, subset)
+// pair. True cardinalities are shared by all estimators' reports.
+func (e *CEEval) RecordTrue(fingerprint uint64, mask query.BitSet, card float64) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.trues[ceKey{fingerprint, mask}] = card
+	e.mu.Unlock()
+}
+
+// TrueCount returns the number of recorded true cardinalities.
+func (e *CEEval) TrueCount() int {
+	if e == nil {
+		return 0
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.trues)
+}
+
+// CESizeRow is the q-error distribution of one estimator over the sub-plans
+// of one join-subset size (size = number of base relations joined).
+type CESizeRow struct {
+	Size    int     `json:"size"`
+	Samples int     `json:"samples"`
+	P50     float64 `json:"p50"`
+	P90     float64 `json:"p90"`
+	P99     float64 `json:"p99"`
+	Max     float64 `json:"max"`
+}
+
+// CEEstimatorReport is one estimator's q-error distribution broken down by
+// join-subset size, over every recorded estimate whose true cardinality was
+// observed.
+type CEEstimatorReport struct {
+	Estimator string      `json:"estimator"`
+	Matched   int         `json:"matched"`   // estimates joined with a true card
+	Unmatched int         `json:"unmatched"` // estimates never executed
+	Sizes     []CESizeRow `json:"sizes"`
+}
+
+// Report joins each estimator's recorded estimates against the observed
+// true cardinalities and summarises q-error by subset size. Estimators are
+// ordered by name; sizes ascending.
+func (e *CEEval) Report() []CEEstimatorReport {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	names := make([]string, 0, len(e.recs))
+	for name := range e.recs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]CEEstimatorReport, 0, len(names))
+	for _, name := range names {
+		rec := e.recs[name]
+		rep := CEEstimatorReport{Estimator: name}
+		bySize := make(map[int][]float64)
+		rec.mu.Lock()
+		for k, est := range rec.ests {
+			actual, ok := e.trues[k]
+			if !ok {
+				rep.Unmatched++
+				continue
+			}
+			rep.Matched++
+			size := k.mask.Count()
+			bySize[size] = append(bySize[size], QError(actual, est))
+		}
+		rec.mu.Unlock()
+		sizes := make([]int, 0, len(bySize))
+		for s := range bySize {
+			sizes = append(sizes, s)
+		}
+		sort.Ints(sizes)
+		for _, s := range sizes {
+			qs := bySize[s]
+			sort.Float64s(qs)
+			rep.Sizes = append(rep.Sizes, CESizeRow{
+				Size:    s,
+				Samples: len(qs),
+				P50:     quantile(qs, 0.50),
+				P90:     quantile(qs, 0.90),
+				P99:     quantile(qs, 0.99),
+				Max:     qs[len(qs)-1],
+			})
+		}
+		out = append(out, rep)
+	}
+	return out
+}

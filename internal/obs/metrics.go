@@ -1,0 +1,274 @@
+// Package obs is the repository's cross-cutting observability layer: a
+// lightweight metrics registry (counters, gauges, histograms), a structured
+// trace of query execution (per-operator runtime stats, re-optimization
+// events), and a CE-evaluation recorder that joins every cardinality
+// estimate against the true cardinality observed at runtime — the approach
+// of TiDB's CE-evaluation framework proposal, applied to this engine.
+//
+// Every recording entry point is nil-safe: calling a method on a nil
+// *Counter, *Histogram, *ExecTrace, *QueryTrace, *CERecorder, or through a
+// nil *Registry/*Observer is a no-op that performs no allocation. Hot paths
+// therefore record unconditionally; disabling observability is simply not
+// wiring it up, and costs nothing.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically-increasing (resettable) atomic counter. The
+// zero value is ready to use; a nil Counter ignores all operations.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 for a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.v.Store(0)
+}
+
+// Gauge is an atomically-updated float64 value. The zero value is ready to
+// use; a nil Gauge ignores all operations.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value (0 for a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histogramCap bounds the retained samples of one histogram. When full the
+// histogram halves its sample set and doubles its sampling stride, so
+// long-running processes keep a uniform thinning of the stream instead of
+// growing without bound. Count, max, and sum stay exact.
+const histogramCap = 1 << 14
+
+// Histogram accumulates float64 observations and reports quantiles. It is
+// goroutine-safe; a nil Histogram ignores all operations.
+type Histogram struct {
+	mu     sync.Mutex
+	vals   []float64
+	stride int64 // record every stride-th observation
+	seen   int64 // observations since the last recorded one
+	count  int64
+	sum    float64
+	max    float64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.count++
+	h.sum += v
+	if h.count == 1 || v > h.max {
+		h.max = v
+	}
+	if h.stride == 0 {
+		h.stride = 1
+	}
+	h.seen++
+	if h.seen >= h.stride {
+		h.seen = 0
+		h.vals = append(h.vals, v)
+		if len(h.vals) >= histogramCap {
+			keep := h.vals[:0]
+			for i := 1; i < len(h.vals); i += 2 {
+				keep = append(keep, h.vals[i])
+			}
+			h.vals = keep
+			h.stride *= 2
+		}
+	}
+	h.mu.Unlock()
+}
+
+// HistSummary is the serializable summary of a histogram.
+type HistSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+	Max   float64 `json:"max"`
+}
+
+// Summary snapshots the histogram. All fields are zero when nothing was
+// observed.
+func (h *Histogram) Summary() HistSummary {
+	if h == nil {
+		return HistSummary{}
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSummary{Count: h.count, Max: h.max}
+	if h.count > 0 {
+		s.Mean = h.sum / float64(h.count)
+	}
+	if len(h.vals) > 0 {
+		sorted := append([]float64(nil), h.vals...)
+		sort.Float64s(sorted)
+		s.P50 = quantile(sorted, 0.50)
+		s.P90 = quantile(sorted, 0.90)
+		s.P99 = quantile(sorted, 0.99)
+	}
+	return s
+}
+
+// quantile returns the q-th quantile of sorted values by linear
+// interpolation between closest ranks.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := q * float64(len(sorted)-1)
+	lo := int(rank)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	frac := rank - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Registry interns named counters, gauges, and histograms. Lookups on a nil
+// Registry return nil instruments, whose operations are no-ops — callers
+// can hold a nil registry and record unconditionally.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil on a nil registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil on a nil registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil on a nil registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// MetricsSnapshot is the serializable state of a registry.
+type MetricsSnapshot struct {
+	Counters   map[string]int64       `json:"counters,omitempty"`
+	Gauges     map[string]float64     `json:"gauges,omitempty"`
+	Histograms map[string]HistSummary `json:"histograms,omitempty"`
+}
+
+// Snapshot captures the registry's current state. An empty snapshot is
+// returned for a nil registry.
+func (r *Registry) Snapshot() MetricsSnapshot {
+	var s MetricsSnapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.counters) > 0 {
+		s.Counters = make(map[string]int64, len(r.counters))
+		for name, c := range r.counters {
+			s.Counters[name] = c.Value()
+		}
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Value()
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]HistSummary, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = h.Summary()
+		}
+	}
+	return s
+}

@@ -1,0 +1,240 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/query"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(4)
+	if got := r.Counter("c").Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset failed")
+	}
+	g := r.Gauge("g")
+	g.Set(2.5)
+	if r.Gauge("g").Value() != 2.5 {
+		t.Fatal("gauge round-trip failed")
+	}
+}
+
+func TestHistogramSummary(t *testing.T) {
+	h := &Histogram{}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Summary()
+	if s.Count != 100 || s.Max != 100 {
+		t.Fatalf("count=%d max=%v", s.Count, s.Max)
+	}
+	if math.Abs(s.Mean-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.P50 < 45 || s.P50 > 55 {
+		t.Fatalf("p50 = %v", s.P50)
+	}
+	if s.P99 < 95 || s.P99 > 100 {
+		t.Fatalf("p99 = %v", s.P99)
+	}
+}
+
+func TestHistogramDownsamples(t *testing.T) {
+	h := &Histogram{}
+	n := histogramCap * 4
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+	if len(h.vals) >= histogramCap {
+		t.Fatalf("histogram retained %d samples, cap %d", len(h.vals), histogramCap)
+	}
+	s := h.Summary()
+	if s.Count != int64(n) || s.Max != float64(n-1) {
+		t.Fatalf("count=%d max=%v", s.Count, s.Max)
+	}
+	mid := float64(n) / 2
+	if s.P50 < mid*0.9 || s.P50 > mid*1.1 {
+		t.Fatalf("p50 = %v, want ~%v", s.P50, mid)
+	}
+}
+
+// TestNilSafety: every recording entry point must be a no-op through nil
+// receivers, so hot paths record unconditionally.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("x").Set(1)
+	r.Histogram("x").Observe(1)
+	if s := r.Snapshot(); s.Counters != nil {
+		t.Fatal("nil registry snapshot not empty")
+	}
+	var c *Counter
+	c.Add(1)
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("nil counter")
+	}
+	var et *ExecTrace
+	et.AddOp(OpStats{})
+	if et.ByMask(query.NewBitSet()) != nil {
+		t.Fatal("nil exec trace")
+	}
+	var qt *QueryTrace
+	qt.AddEvent(ReoptEvent{})
+	qt.AttachPlanDiff("x")
+	if qt.NewRound() != nil || qt.FinalRound() != nil {
+		t.Fatal("nil query trace")
+	}
+	var o *Observer
+	o.Observe(qt)
+	if o.Registry() != nil || o.CE() != nil || o.NewQueryTrace(1, "x") != nil || o.Report() != nil {
+		t.Fatal("nil observer")
+	}
+	var rec *CERecorder
+	rec.RecordEstimate(1, query.NewBitSet(), 1)
+	if rec.Len() != 0 {
+		t.Fatal("nil recorder")
+	}
+	var ce *CEEval
+	ce.RecordTrue(1, query.NewBitSet(), 1)
+	if ce.Recorder("x") != nil || ce.Report() != nil || ce.TrueCount() != 0 {
+		t.Fatal("nil CE eval")
+	}
+}
+
+// TestDisabledRecordingAllocFree asserts the disabled (nil-receiver) path
+// allocates nothing, which is what lets the executor and the controller
+// record unconditionally.
+func TestDisabledRecordingAllocFree(t *testing.T) {
+	var r *Registry
+	var et *ExecTrace
+	var qt *QueryTrace
+	var ce *CEEval
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Counter("x").Add(1)
+		r.Histogram("y").Observe(1)
+		et.AddOp(OpStats{Op: "HashJoin", Rows: 1})
+		qt.AddEvent(ReoptEvent{})
+		ce.RecordTrue(1, query.NewBitSet(), 1)
+		ce.Recorder("x").RecordEstimate(1, query.NewBitSet(), 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("hits").Inc()
+				r.Histogram("lat").Observe(float64(i))
+				r.Gauge("g").Set(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Fatalf("hits = %d, want 8000", got)
+	}
+	if s := r.Histogram("lat").Summary(); s.Count != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", s.Count)
+	}
+}
+
+func TestQueryTraceRoundsAndEvents(t *testing.T) {
+	o := NewObserver()
+	qt := o.NewQueryTrace(42, "histogram")
+	r0 := qt.NewRound()
+	r0.AddOp(OpStats{Op: "SeqScan", Mask: query.NewBitSet().Set(0), EstRows: 10, ActualRows: 12, Rows: 12})
+	qt.AddEvent(ReoptEvent{Op: "HashJoin", QError: 80, Triggered: true})
+	r1 := qt.NewRound()
+	r1.AddOp(OpStats{Op: "MatScan", Mask: query.NewBitSet().Set(0).Set(1), EstRows: 12, ActualRows: 12})
+	qt.AttachPlanDiff("2/5 operators changed")
+	qt.ExecTime = time.Millisecond
+	o.Observe(qt)
+
+	if len(qt.Rounds) != 2 || qt.Rounds[0].Round != 0 || qt.Rounds[1].Round != 1 {
+		t.Fatalf("rounds mis-numbered: %+v", qt.Rounds)
+	}
+	if qt.Events[0].Round != 0 {
+		t.Fatalf("event round = %d, want 0", qt.Events[0].Round)
+	}
+	if qt.Events[0].PlanDiff != "2/5 operators changed" {
+		t.Fatalf("plan diff not attached: %+v", qt.Events[0])
+	}
+	if got := qt.FinalRound().ByMask(query.NewBitSet().Set(0).Set(1)); got == nil || got.Op != "MatScan" {
+		t.Fatalf("ByMask lookup failed: %+v", got)
+	}
+
+	rep := o.Report()
+	if rep.Queries != 1 || rep.Reopts != 1 {
+		t.Fatalf("report queries=%d reopts=%d", rep.Queries, rep.Reopts)
+	}
+	if len(rep.Operators) != 2 {
+		t.Fatalf("operator aggregates = %+v", rep.Operators)
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not serializable: %v", err)
+	}
+}
+
+func TestCEEvalReport(t *testing.T) {
+	ce := NewCEEval()
+	rec := ce.Recorder("histogram")
+	m1 := query.NewBitSet().Set(0)
+	m2 := query.NewBitSet().Set(0).Set(1)
+	m3 := query.NewBitSet().Set(2)
+	rec.RecordEstimate(1, m1, 10)
+	rec.RecordEstimate(1, m2, 100)
+	rec.RecordEstimate(1, m3, 7) // never executed -> unmatched
+	ce.RecordTrue(1, m1, 20)     // q-error 2 at size 1
+	ce.RecordTrue(1, m2, 1000)   // q-error 10 at size 2
+
+	reps := ce.Report()
+	if len(reps) != 1 {
+		t.Fatalf("reports = %+v", reps)
+	}
+	rep := reps[0]
+	if rep.Estimator != "histogram" || rep.Matched != 2 || rep.Unmatched != 1 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if len(rep.Sizes) != 2 || rep.Sizes[0].Size != 1 || rep.Sizes[1].Size != 2 {
+		t.Fatalf("sizes: %+v", rep.Sizes)
+	}
+	if rep.Sizes[0].Max != 2 || rep.Sizes[1].Max != 10 {
+		t.Fatalf("q-errors: %+v", rep.Sizes)
+	}
+	// A second estimator shares the same true cards.
+	ce.Recorder("lpce-i").RecordEstimate(1, m1, 20)
+	reps = ce.Report()
+	if len(reps) != 2 || reps[1].Estimator != "lpce-i" || reps[1].Sizes[0].Max != 1 {
+		t.Fatalf("second estimator: %+v", reps)
+	}
+}
+
+func TestQErrorClamps(t *testing.T) {
+	if q := QError(0, 0); q != 1 {
+		t.Fatalf("QError(0,0) = %v", q)
+	}
+	if q := QError(100, 10); q != 10 {
+		t.Fatalf("QError(100,10) = %v", q)
+	}
+	if q := QError(10, 100); q != 10 {
+		t.Fatalf("QError(10,100) = %v", q)
+	}
+}

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// OpAggregate summarises every execution of one physical operator type
+// across a workload: how many instances ran, the rows they produced, the
+// wall time they absorbed, and how the optimizer's estimates distributed
+// against reality.
+type OpAggregate struct {
+	Op          string      `json:"op"`
+	Count       int         `json:"count"`
+	Rows        int64       `json:"rows"`
+	WallSeconds float64     `json:"wall_seconds"`
+	QError      HistSummary `json:"q_error"`
+}
+
+// PhaseSummary is the latency distribution of one end-to-end phase (the
+// paper's T_P, T_I, T_R, T_E, and their sum) in seconds.
+type PhaseSummary struct {
+	Phase   string      `json:"phase"`
+	Seconds HistSummary `json:"seconds"`
+}
+
+// Report is the aggregated, JSON-serializable view of everything an
+// Observer collected: workload counts, phase latency distributions,
+// per-operator runtime stats, every re-optimization event, the CE
+// evaluation tables, and the raw metrics snapshot.
+type Report struct {
+	Queries  int `json:"queries"`
+	Timeouts int `json:"timeouts"`
+	Reopts   int `json:"reopts"`
+
+	Phases    []PhaseSummary      `json:"phases"`
+	Operators []OpAggregate       `json:"operators"`
+	Events    []ReoptEvent        `json:"reopt_events,omitempty"`
+	CE        []CEEstimatorReport `json:"ce_evaluation,omitempty"`
+	Metrics   MetricsSnapshot     `json:"metrics"`
+}
+
+// Report aggregates the published query traces, the CE evaluation, and the
+// metrics registry into one serializable report. Returns nil on a nil
+// observer.
+func (o *Observer) Report() *Report {
+	if o == nil {
+		return nil
+	}
+	traces := o.Traces()
+	rep := &Report{Queries: len(traces)}
+
+	phases := []struct {
+		name string
+		get  func(*QueryTrace) time.Duration
+	}{
+		{"plan", func(t *QueryTrace) time.Duration { return t.PlanTime }},
+		{"infer", func(t *QueryTrace) time.Duration { return t.InferTime }},
+		{"reopt", func(t *QueryTrace) time.Duration { return t.ReoptTime }},
+		{"exec", func(t *QueryTrace) time.Duration { return t.ExecTime }},
+		{"total", func(t *QueryTrace) time.Duration {
+			return t.PlanTime + t.InferTime + t.ReoptTime + t.ExecTime
+		}},
+	}
+	phaseHists := make([]*Histogram, len(phases))
+	for i := range phaseHists {
+		phaseHists[i] = &Histogram{}
+	}
+
+	type opAgg struct {
+		count int
+		rows  int64
+		wall  time.Duration
+		qerr  *Histogram
+	}
+	ops := make(map[string]*opAgg)
+
+	for _, t := range traces {
+		if t.TimedOut {
+			rep.Timeouts++
+		}
+		for i, ph := range phases {
+			phaseHists[i].Observe(ph.get(t).Seconds())
+		}
+		for _, ev := range t.Events {
+			if ev.Triggered {
+				rep.Reopts++
+			}
+			rep.Events = append(rep.Events, ev)
+		}
+		for _, rd := range t.Rounds {
+			for _, s := range rd.Ops {
+				a, ok := ops[s.Op]
+				if !ok {
+					a = &opAgg{qerr: &Histogram{}}
+					ops[s.Op] = a
+				}
+				a.count++
+				a.rows += s.Rows
+				a.wall += s.Wall
+				if q := s.QError(); q > 0 {
+					a.qerr.Observe(q)
+				}
+			}
+		}
+	}
+
+	for i, ph := range phases {
+		rep.Phases = append(rep.Phases, PhaseSummary{Phase: ph.name, Seconds: phaseHists[i].Summary()})
+	}
+	names := make([]string, 0, len(ops))
+	for name := range ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := ops[name]
+		rep.Operators = append(rep.Operators, OpAggregate{
+			Op: name, Count: a.count, Rows: a.rows,
+			WallSeconds: a.wall.Seconds(), QError: a.qerr.Summary(),
+		})
+	}
+	rep.CE = o.CE().Report()
+	rep.Metrics = o.Registry().Snapshot()
+	return rep
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/obs"
 	"github.com/lpce-db/lpce/internal/plan"
 	"github.com/lpce-db/lpce/internal/query"
 	"github.com/lpce-db/lpce/internal/storage"
@@ -32,6 +33,11 @@ type Optimizer struct {
 	Est   cardest.Estimator
 	Cost  CostModel
 	Shape JoinShape
+	// CE, when non-nil, records every EstimateSubset result (query
+	// fingerprint, relation mask, estimate) for CE evaluation: after
+	// execution the recorded estimates are joined against observed true
+	// cardinalities to grade the estimator sub-plan by sub-plan.
+	CE *obs.CERecorder
 }
 
 // New returns an optimizer over db using est for cardinalities.
@@ -80,6 +86,7 @@ func (o *Optimizer) PlanWithMaterialized(q *query.Query, mats map[query.BitSet]*
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 1 {
 			v = 1
 		}
+		o.CE.RecordEstimate(q.Fingerprint(), mask, v)
 		cards[mask] = v
 		return v
 	}

@@ -173,12 +173,19 @@ func (n *Node) Clone() *Node {
 
 // String renders the plan as an indented tree for logs and examples.
 func (n *Node) String() string {
+	return n.StringWith(nil)
+}
+
+// StringWith renders the plan like String, appending annot's output (when
+// non-nil) to each operator line — the hook EXPLAIN ANALYZE uses to attach
+// per-operator runtime stats without the plan package knowing about them.
+func (n *Node) StringWith(annot func(*Node) string) string {
 	var b strings.Builder
-	n.render(&b, 0)
+	n.render(&b, 0, annot)
 	return b.String()
 }
 
-func (n *Node) render(b *strings.Builder, depth int) {
+func (n *Node) render(b *strings.Builder, depth int, annot func(*Node) string) {
 	indent := strings.Repeat("  ", depth)
 	switch {
 	case n.Op.IsJoin():
@@ -199,12 +206,15 @@ func (n *Node) render(b *strings.Builder, depth int) {
 	if n.TrueCard >= 0 {
 		fmt.Fprintf(b, " true=%.0f", n.TrueCard)
 	}
+	if annot != nil {
+		b.WriteString(annot(n))
+	}
 	b.WriteString("\n")
 	if n.Left != nil {
-		n.Left.render(b, depth+1)
+		n.Left.render(b, depth+1, annot)
 	}
 	if n.Right != nil {
-		n.Right.render(b, depth+1)
+		n.Right.render(b, depth+1, annot)
 	}
 }
 

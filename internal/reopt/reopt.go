@@ -9,6 +9,7 @@ package reopt
 import (
 	"github.com/lpce-db/lpce/internal/exec"
 	"github.com/lpce-db/lpce/internal/nn"
+	"github.com/lpce-db/lpce/internal/obs"
 	"github.com/lpce-db/lpce/internal/plan"
 	"github.com/lpce-db/lpce/internal/query"
 )
@@ -56,6 +57,10 @@ type Controller struct {
 	// planCost is the current plan's total estimated cost, set by the
 	// engine before each execution for the cost-aware trigger.
 	planCost float64
+	// Trace, when non-nil, receives one obs.ReoptEvent per checkpoint —
+	// triggered or suppressed — so a workload's re-optimization behaviour
+	// can be audited after the fact.
+	Trace *obs.QueryTrace
 }
 
 // SetPlan informs the controller of the plan about to execute (used by the
@@ -78,25 +83,41 @@ func (c *Controller) OnMaterialized(node *plan.Node, rows [][]int64) error {
 	}
 	c.mats[node.Tables] = &plan.Materialized{Tables: node.Tables, Rows: rows}
 	c.execs = append(c.execs, Executed{Node: node, Mask: node.Tables, Card: float64(len(rows))})
-	if c.Reopts >= c.Policy.MaxReopts {
+
+	ev := obs.ReoptEvent{
+		Op:         node.Op.String(),
+		Mask:       node.Tables,
+		EstRows:    node.EstCard,
+		ActualRows: float64(len(rows)),
+	}
+	if node.EstCard > 0 {
+		ev.QError = nn.QError(float64(len(rows)), node.EstCard)
+	}
+	suppress := func(reason string) error {
+		ev.Suppressed = reason
+		c.Trace.AddEvent(ev)
 		return nil
+	}
+	if c.Reopts >= c.Policy.MaxReopts {
+		return suppress("max-reopts")
 	}
 	if node.EstCard <= 0 {
-		return nil
+		return suppress("no-estimate")
 	}
-	q := nn.QError(float64(len(rows)), node.EstCard)
-	if q <= c.Policy.QErrThreshold {
-		return nil
+	if ev.QError <= c.Policy.QErrThreshold {
+		return suppress("below-threshold")
 	}
 	// cost-aware suppression: if almost all estimated work is already done,
 	// re-planning cannot pay for its own overhead
 	if c.Policy.MinRemainingCostFrac > 0 && c.planCost > 0 {
 		remaining := 1 - node.EstCost/c.planCost
 		if remaining < c.Policy.MinRemainingCostFrac {
-			return nil
+			return suppress("remaining-cost")
 		}
 	}
 	c.Reopts++
+	ev.Triggered = true
+	c.Trace.AddEvent(ev)
 	sig := &exec.ReoptSignal{Node: node, Actual: len(rows)}
 	c.Triggered = sig
 	return sig
