@@ -6,6 +6,7 @@
 //	           figure1|endtoend|refinement|ablations|figure17|figure18|
 //	           parallel|observe] [-parallel N] [-o file]
 //	           [-trace] [-metrics-out file] [-bench-out file]
+//	           [-timeout D] [-max-mat-rows N]
 //
 // The default runs every experiment at small scale and streams the rendered
 // tables to stdout. "endtoend" covers Table 2 and Figures 11–15;
@@ -20,6 +21,12 @@
 // -metrics-out writes the complete observability report as JSON (implies
 // -trace); -bench-out writes the BENCH_e2e.json perf snapshot (per-phase
 // time distributions + q-error summary per configuration).
+//
+// -timeout sets a per-query deadline and -max-mat-rows caps materialized
+// intermediate rows per query (both for the observe experiment; zero
+// disables each). A query over budget fails alone with a typed error while
+// the rest of the workload keeps running; the summary table and bench JSON
+// report the degraded and failed counts.
 package main
 
 import (
@@ -43,6 +50,8 @@ func main() {
 	trace := flag.Bool("trace", false, "run the observability pass over the JOB-like suite")
 	metricsOut := flag.String("metrics-out", "", "write the full observability report as JSON to this file (implies -trace)")
 	benchOut := flag.String("bench-out", "", "write the BENCH_e2e.json perf snapshot to this file (implies -trace)")
+	timeout := flag.Duration("timeout", 0, "per-query deadline for the observe experiment (0 = none)")
+	maxMatRows := flag.Int64("max-mat-rows", 0, "per-query cap on materialized intermediate rows (0 = unlimited)")
 	flag.Parse()
 	if *metricsOut != "" || *benchOut != "" {
 		*trace = true
@@ -67,7 +76,10 @@ func main() {
 	env := experiments.Setup(experiments.ParseScale(*scale), *seed)
 	fmt.Fprintf(w, "setup done in %s\n\n", time.Since(start).Round(time.Millisecond))
 
-	opts := obsOpts{metricsOut: *metricsOut, benchOut: *benchOut, scale: *scale, seed: *seed}
+	opts := obsOpts{
+		metricsOut: *metricsOut, benchOut: *benchOut, scale: *scale, seed: *seed,
+		timeout: *timeout, maxMatRows: *maxMatRows,
+	}
 	if err := run(env, *exp, *workers, w, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -75,12 +87,15 @@ func main() {
 	fmt.Fprintf(w, "\ntotal wall time: %s\n", time.Since(start).Round(time.Millisecond))
 }
 
-// obsOpts carries the observability output destinations into run.
+// obsOpts carries the observability output destinations and the per-query
+// resource budgets into run.
 type obsOpts struct {
 	metricsOut string
 	benchOut   string
 	scale      string
 	seed       int64
+	timeout    time.Duration
+	maxMatRows int64
 }
 
 func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpts) error {
@@ -135,7 +150,9 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 		}
 		fmt.Fprintln(w, r.Render())
 	case "observe":
-		r, err := experiments.Observability(env, workers)
+		r, err := experiments.ObservabilityWithOptions(env, experiments.ObsOptions{
+			Workers: workers, Timeout: opts.timeout, MaxMatRows: opts.maxMatRows,
+		})
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,8 @@ import (
 
 	"github.com/lpce-db/lpce/internal/cardest"
 	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/engine"
+	"github.com/lpce-db/lpce/internal/exec"
 	"github.com/lpce-db/lpce/internal/experiments"
 	"github.com/lpce-db/lpce/internal/maintain"
 	"github.com/lpce-db/lpce/internal/obs"
@@ -112,4 +114,35 @@ type MetricsRegistry = obs.Registry
 // observer's report alongside the engine metrics.
 func NewEstimateCacheWithMetrics(inner Estimator, reg *MetricsRegistry) *EstimateCache {
 	return cardest.NewCacheWithMetrics(inner, reg)
+}
+
+// Robustness & graceful degradation.
+
+// ResourceError is the typed failure of a query that exceeded one of its
+// ResourceLimits ("materialized-rows" or "replans"); match with errors.As.
+type ResourceError = exec.ResourceError
+
+// ResourceLimits are per-query resource budgets; set EngineConfig.Limits.
+// The zero value disables every limit.
+type ResourceLimits = engine.Limits
+
+// EstimatorGuard wraps any estimator with production guardrails: it
+// recovers panics, clamps non-finite / non-positive / impossibly large
+// estimates, flags latency-budget violations, and trips a circuit breaker
+// to a fallback estimator after repeated faults.
+type EstimatorGuard = cardest.Guard
+
+// EstimatorGuardConfig configures an EstimatorGuard.
+type EstimatorGuardConfig = cardest.GuardConfig
+
+// NewEstimatorGuard wraps inner with the guardrails of cfg.
+func NewEstimatorGuard(inner Estimator, cfg EstimatorGuardConfig) *EstimatorGuard {
+	return cardest.NewGuard(inner, cfg)
+}
+
+// CrossProductBound returns the natural upper bound for cardinality
+// estimates over db — the product of the base-table sizes of the estimated
+// subset — for use as EstimatorGuardConfig.Bound.
+func CrossProductBound(db *Database) func(*Query, BitSet) float64 {
+	return cardest.CrossProductBound(db)
 }

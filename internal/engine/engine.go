@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -46,6 +47,27 @@ type Config struct {
 	// evaluation of every cardinality estimate, and engine-level metrics.
 	// The observer may be shared by concurrent workers. Nil costs nothing.
 	Obs *obs.Observer
+	// Limits bounds per-query resource usage; exceeding a limit fails the
+	// single query with a typed *exec.ResourceError instead of the process.
+	Limits Limits
+	// ExecWrap, when non-nil, intercepts every executor operator the engine
+	// builds. It exists for the fault-injection harness; production configs
+	// leave it nil.
+	ExecWrap exec.WrapFunc
+}
+
+// Limits are the per-query resource budgets. The zero value disables every
+// limit (the pre-hardening behaviour).
+type Limits struct {
+	// MaxMatRows caps the tuples buffered by pipeline breakers (hash-join
+	// builds, merge-join sorts, nested-loop materializations) within one
+	// execution attempt — a memory guardrail against runaway intermediates.
+	MaxMatRows int64
+	// MaxReplans hard-caps re-optimizations per query. Unlike
+	// Policy.MaxReopts, which gracefully suppresses further triggers, a
+	// query exceeding MaxReplans fails with a *exec.ResourceError — a
+	// backstop for policies configured without a suppression bound.
+	MaxReplans int
 }
 
 // Result is the outcome and time decomposition of one query execution.
@@ -83,22 +105,40 @@ type Engine struct {
 // New returns an engine over db.
 func New(db *storage.Database) *Engine { return &Engine{DB: db} }
 
-// Execute runs the query end to end.
+// Execute runs the query end to end without a deadline; it is
+// ExecuteContext with a background context.
 func (e *Engine) Execute(q *query.Query, cfg Config) (Result, error) {
+	return e.ExecuteContext(context.Background(), q, cfg)
+}
+
+// ExecuteContext runs the query end to end under ctx: a deadline or caller
+// cancellation unwinds the executor cooperatively (checked in every scan
+// and join inner loop), aborts re-planning, releases any materialized
+// intermediates, and returns the context's error for this query only.
+func (e *Engine) ExecuteContext(ctx context.Context, q *query.Query, cfg Config) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	var qt *obs.QueryTrace
 	if cfg.Obs != nil {
 		qt = cfg.Obs.NewQueryTrace(q.Fingerprint(), cfg.Estimator.Name())
 	}
-	res, err := e.execute(q, cfg, qt)
+	res, err := e.execute(ctx, q, cfg, qt)
 	if qt != nil && err == nil {
 		finishTrace(q, cfg.Obs, qt, &res)
 	}
 	return res, err
 }
 
-// execute is Execute's body, with the optional query trace threaded through
-// the optimizer, the executor contexts, and the re-optimization controller.
-func (e *Engine) execute(q *query.Query, cfg Config, qt *obs.QueryTrace) (Result, error) {
+// testHookController, when non-nil, observes the re-optimization controller
+// the engine creates for a query; tests use it to assert that failure paths
+// release materialized intermediates.
+var testHookController func(*reopt.Controller)
+
+// execute is ExecuteContext's body, with the optional query trace threaded
+// through the optimizer, the executor contexts, and the re-optimization
+// controller.
+func (e *Engine) execute(ctx context.Context, q *query.Query, cfg Config, qt *obs.QueryTrace) (Result, error) {
 	var res Result
 	if cfg.Policy.QErrThreshold == 0 {
 		cfg.Policy = reopt.DefaultPolicy()
@@ -117,6 +157,9 @@ func (e *Engine) execute(q *query.Query, cfg Config, qt *obs.QueryTrace) (Result
 	res.PlanTime = time.Since(start) - timed.Time
 	res.InferTime = timed.Time
 	res.EstimateCalls = stats.EstimateCalls
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 
 	var ctrl exec.Controller = exec.NopController{}
 	var rctrl *reopt.Controller
@@ -124,17 +167,31 @@ func (e *Engine) execute(q *query.Query, cfg Config, qt *obs.QueryTrace) (Result
 		rctrl = reopt.NewController(cfg.Policy)
 		rctrl.Trace = qt
 		ctrl = rctrl
+		if testHookController != nil {
+			testHookController(rctrl)
+		}
+	}
+	// fail releases any materialized intermediates before failing the query,
+	// so buffered rows never outlive the query that materialized them.
+	fail := func(err error) (Result, error) {
+		if rctrl != nil {
+			rctrl.Release()
+		}
+		return res, err
 	}
 
 	for {
 		if rctrl != nil {
 			rctrl.SetPlan(p)
 		}
-		ctx := &exec.Ctx{DB: e.DB, Q: q, Controller: ctrl, Budget: cfg.Budget, Trace: qt.NewRound()}
+		ectx := &exec.Ctx{
+			DB: e.DB, Q: q, Controller: ctrl, Budget: cfg.Budget, Trace: qt.NewRound(),
+			Context: ctx, MaxMatRows: cfg.Limits.MaxMatRows, Wrap: cfg.ExecWrap,
+		}
 		execStart := time.Now()
-		count, err := exec.Run(ctx, p)
+		count, err := exec.Run(ectx, p)
 		res.ExecTime += time.Since(execStart)
-		res.ExecWork += ctx.Work()
+		res.ExecWork += ectx.Work()
 		switch {
 		case err == nil:
 			res.Count = count
@@ -147,7 +204,14 @@ func (e *Engine) execute(q *query.Query, cfg Config, qt *obs.QueryTrace) (Result
 		default:
 			var sig *exec.ReoptSignal
 			if !errors.As(err, &sig) || rctrl == nil {
-				return res, err
+				return fail(err)
+			}
+			// The controller already counted this trigger, so Reopts is the
+			// replan about to run; beyond the hard cap the query fails.
+			if lim := cfg.Limits.MaxReplans; lim > 0 && rctrl.Reopts > lim {
+				return fail(&exec.ResourceError{
+					Resource: "replans", Limit: int64(lim), Used: int64(rctrl.Reopts),
+				})
 			}
 			// Re-optimization: refine estimates with LPCE-R using the
 			// executed sub-plans, then re-plan from the materialized
@@ -158,8 +222,11 @@ func (e *Engine) execute(q *query.Query, cfg Config, qt *obs.QueryTrace) (Result
 			prev := p
 			p, err = e.replan(q, cfg, rctrl)
 			res.ReoptTime += time.Since(reoptStart)
+			if err == nil {
+				err = ctx.Err() // a cancellation that landed mid-replan
+			}
 			if err != nil {
-				return res, err
+				return fail(err)
 			}
 			qt.AttachPlanDiff(planDiff(prev, p))
 			res.Reopts = rctrl.Reopts

@@ -16,6 +16,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -33,6 +34,27 @@ type Tuple = []int64
 // engine reports such queries as timeouts instead of running pathological
 // plans for hours.
 var ErrBudget = errors.New("exec: work budget exceeded")
+
+// ResourceError reports that one query exceeded a per-query resource budget
+// (materialized intermediate rows, re-optimization replans). It fails only
+// the offending query — never the process or the worker pool — so callers
+// match it with errors.As and degrade gracefully.
+type ResourceError struct {
+	Resource string // "materialized-rows" or "replans"
+	Limit    int64
+	Used     int64
+}
+
+func (e *ResourceError) Error() string {
+	return fmt.Sprintf("exec: %s budget exceeded (limit %d, used %d)", e.Resource, e.Limit, e.Used)
+}
+
+// cancelPollInterval is how many work units pass between cooperative
+// cancellation checks. Every scan and join inner loop charges work per
+// tuple, so polling the context once per interval bounds the cancellation
+// latency to the time of ~1k tuple operations while keeping the per-tuple
+// overhead negligible.
+const cancelPollInterval = 1024
 
 // ReoptSignal is returned through the operator stack when the controller
 // decides to pause execution and re-optimize. It is an error value so it
@@ -60,6 +82,12 @@ type NopController struct{}
 // OnMaterialized implements Controller.
 func (NopController) OnMaterialized(*plan.Node, [][]int64) error { return nil }
 
+// WrapFunc intercepts operator construction: Build applies it to every
+// operator it creates (outermost, above the tracing shim). The
+// fault-injection harness uses it to wrap chosen operators with injected
+// errors and stalls; a nil WrapFunc costs one pointer check per Build call.
+type WrapFunc func(ctx *Ctx, op Operator, n *plan.Node) Operator
+
 // Ctx carries the per-execution state shared by all operators.
 type Ctx struct {
 	DB         *storage.Database
@@ -71,20 +99,53 @@ type Ctx struct {
 	// Trace leaves the operator tree untouched, so disabled tracing costs
 	// nothing.
 	Trace *obs.ExecTrace
+	// Context, when non-nil, cancels execution cooperatively: every operator
+	// inner loop charges work, and charge polls the context once per
+	// cancelPollInterval units, unwinding with the context's error (deadline
+	// or caller cancellation) mid-pipeline.
+	Context context.Context
+	// Wrap, when non-nil, is applied to every operator Build constructs.
+	Wrap WrapFunc
 	// Budget bounds the total work units (tuples scanned, probed, emitted);
 	// zero means unlimited.
 	Budget int64
-	work   int64
+	// MaxMatRows bounds the total tuples buffered by pipeline breakers
+	// (hash-join builds, merge-join sorts, nested-loop materializations)
+	// across the whole execution; exceeding it fails the query with a
+	// *ResourceError. Zero means unlimited.
+	MaxMatRows int64
+	work       int64
+	matRows    int64
+	nextPoll   int64
 }
 
-// charge consumes n work units, failing when the budget is exhausted.
+// charge consumes n work units, failing when the budget is exhausted or the
+// context is cancelled.
 func (c *Ctx) charge(n int64) error {
 	c.work += n
 	if c.Budget > 0 && c.work > c.Budget {
 		return ErrBudget
 	}
+	if c.Context != nil && c.work >= c.nextPoll {
+		c.nextPoll = c.work + cancelPollInterval
+		if err := c.Context.Err(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
+
+// chargeMat accounts one materialized row against the buffered-rows budget.
+func (c *Ctx) chargeMat() error {
+	c.matRows++
+	if c.MaxMatRows > 0 && c.matRows > c.MaxMatRows {
+		return &ResourceError{Resource: "materialized-rows", Limit: c.MaxMatRows, Used: c.matRows}
+	}
+	return nil
+}
+
+// MatRows reports the total rows buffered by pipeline breakers so far.
+func (c *Ctx) MatRows() int64 { return c.matRows }
 
 // Work reports the consumed work units, a deterministic proxy for execution
 // effort used by tests.
@@ -124,6 +185,9 @@ func Build(ctx *Ctx, n *plan.Node) (Operator, error) {
 	}
 	if ctx.Trace != nil {
 		op = &tracedOp{inner: op, node: n, tr: ctx.Trace}
+	}
+	if ctx.Wrap != nil {
+		op = ctx.Wrap(ctx, op, n)
 	}
 	return op, nil
 }
@@ -174,6 +238,9 @@ func drain(ctx *Ctx, node *plan.Node, op Operator) ([][]int64, error) {
 		// materialization cost scales with tuple width, which also keeps
 		// the work budget an effective bound on buffered memory
 		if err := ctx.charge(1 + int64(len(t))/4); err != nil {
+			return nil, err
+		}
+		if err := ctx.chargeMat(); err != nil {
 			return nil, err
 		}
 		cp := make([]int64, len(t))

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -8,6 +10,7 @@ import (
 
 	"github.com/lpce-db/lpce/internal/cardest"
 	"github.com/lpce-db/lpce/internal/engine"
+	"github.com/lpce-db/lpce/internal/exec"
 	"github.com/lpce-db/lpce/internal/joblike"
 	"github.com/lpce-db/lpce/internal/obs"
 	"github.com/lpce-db/lpce/internal/query"
@@ -15,11 +18,17 @@ import (
 )
 
 // ObsRun is one configuration's fully-observed workload execution: the
-// aggregated observability report plus the run's wall time.
+// aggregated observability report plus the run's wall time and the
+// degradation tally under resource budgets.
 type ObsRun struct {
-	Name   string        `json:"name"`
-	Wall   time.Duration `json:"wall_ns"`
-	Report *obs.Report   `json:"report"`
+	Name string        `json:"name"`
+	Wall time.Duration `json:"wall_ns"`
+	// Degraded counts queries that hit a configured budget — a resource
+	// limit or per-query deadline — and were failed individually with a
+	// typed error. Failed counts everything else that went wrong.
+	Degraded int         `json:"degraded"`
+	Failed   int         `json:"failed"`
+	Report   *obs.Report `json:"report"`
 }
 
 // QPS returns the run's aggregate throughput in queries per second.
@@ -40,14 +49,39 @@ type ObsResult struct {
 	Runs    []ObsRun `json:"runs"`
 }
 
+// ObsOptions configure an observability run beyond the worker count: the
+// per-query resource budgets of the robustness layer. Zero values disable
+// each budget.
+type ObsOptions struct {
+	Workers int
+	// Timeout is the per-query deadline; an exceeded query is cancelled
+	// cooperatively and counted as degraded.
+	Timeout time.Duration
+	// MaxMatRows caps materialized intermediate rows per query execution
+	// attempt; an exceeded query fails with *exec.ResourceError and is
+	// counted as degraded.
+	MaxMatRows int64
+}
+
 // Observability executes the JOB-like named suite under the PostgreSQL,
-// LPCE-I, and LPCE-R configurations with the full observability layer on:
+// LPCE-I, and LPCE-R configurations with the full observability layer on and
+// no resource budgets.
+func Observability(e *Env, workers int) (*ObsResult, error) {
+	return ObservabilityWithOptions(e, ObsOptions{Workers: workers})
+}
+
+// ObservabilityWithOptions is Observability under explicit resource budgets:
 // every engine.Config carries a fresh Observer, and the estimator is shared
 // across workers behind a metrics-registered estimate cache, so cache
 // hit/miss counters land in the same report as everything else. Queries run
-// across a pool of workers goroutines (GOMAXPROCS when workers <= 0); the
+// across a pool of opt.Workers goroutines (GOMAXPROCS when <= 0); the
 // observer is the shared sink, exercising its goroutine-safety.
-func Observability(e *Env, workers int) (*ObsResult, error) {
+//
+// A query exceeding a budget fails alone: the pool keeps draining, and the
+// run's Degraded/Failed tallies report what happened instead of aborting the
+// whole experiment.
+func ObservabilityWithOptions(e *Env, opt ObsOptions) (*ObsResult, error) {
+	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -70,19 +104,42 @@ func Observability(e *Env, workers int) (*ObsResult, error) {
 		cfg := rc.Cfg
 		cfg.Obs = o
 		cfg.Estimator = cardest.NewCacheWithMetrics(cfg.Estimator, o.Registry())
+		cfg.Limits.MaxMatRows = opt.MaxMatRows
 		start := time.Now()
-		err := workload.RunParallel(len(wl), workers, func(i int) error {
-			if _, err := eng.Execute(wl[i], cfg); err != nil {
+		errs := workload.RunEach(context.Background(), len(wl), workers, func(i int) error {
+			ctx := context.Background()
+			if opt.Timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+				defer cancel()
+			}
+			if _, err := eng.ExecuteContext(ctx, wl[i], cfg); err != nil {
 				return fmt.Errorf("%s: %w", joblike.Names()[i], err)
 			}
 			return nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", rc.Name, err)
+		run := ObsRun{Name: rc.Name, Wall: time.Since(start), Report: o.Report()}
+		for _, err := range errs {
+			switch {
+			case err == nil:
+			case isDegradation(err):
+				run.Degraded++
+			default:
+				run.Failed++
+			}
 		}
-		res.Runs = append(res.Runs, ObsRun{Name: rc.Name, Wall: time.Since(start), Report: o.Report()})
+		res.Runs = append(res.Runs, run)
 	}
 	return res, nil
+}
+
+// isDegradation reports whether a per-query error is expected graceful
+// degradation under the configured budgets, as opposed to a genuine failure.
+func isDegradation(err error) bool {
+	var re *exec.ResourceError
+	return errors.As(err, &re) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, context.Canceled)
 }
 
 // Render formats the observability reports for terminal output: one summary
@@ -92,7 +149,7 @@ func (r *ObsResult) Render() string {
 	var b strings.Builder
 	sum := &Table{
 		Title:  fmt.Sprintf("Observability: %s, %d workers", r.Label, r.Workers),
-		Header: []string{"config", "queries", "timeouts", "reopts", "wall", "q/s", "cache hit%"},
+		Header: []string{"config", "queries", "timeouts", "degraded", "failed", "reopts", "wall", "q/s", "cache hit%"},
 	}
 	for _, run := range r.Runs {
 		rep := run.Report
@@ -102,7 +159,8 @@ func (r *ObsResult) Render() string {
 		if hits+misses > 0 {
 			hitRate = float64(hits) / float64(hits+misses)
 		}
-		sum.AddRow(run.Name, fmt.Sprint(rep.Queries), fmt.Sprint(rep.Timeouts), fmt.Sprint(rep.Reopts),
+		sum.AddRow(run.Name, fmt.Sprint(rep.Queries), fmt.Sprint(rep.Timeouts),
+			fmt.Sprint(run.Degraded), fmt.Sprint(run.Failed), fmt.Sprint(rep.Reopts),
 			run.Wall.Round(time.Millisecond).String(), FmtF(run.QPS()), FmtPct(hitRate))
 	}
 	b.WriteString(sum.String())
@@ -153,6 +211,8 @@ type BenchConfigSnapshot struct {
 	Name        string                  `json:"name"`
 	Queries     int                     `json:"queries"`
 	Timeouts    int                     `json:"timeouts"`
+	Degraded    int                     `json:"degraded"`
+	Failed      int                     `json:"failed"`
 	Reopts      int                     `json:"reopts"`
 	WallSeconds float64                 `json:"wall_seconds"`
 	QPS         float64                 `json:"qps"`
@@ -177,7 +237,8 @@ func (r *ObsResult) Snapshot(scale string, seed int64) BenchSnapshot {
 	for _, run := range r.Runs {
 		rep := run.Report
 		s.Configs = append(s.Configs, BenchConfigSnapshot{
-			Name: run.Name, Queries: rep.Queries, Timeouts: rep.Timeouts, Reopts: rep.Reopts,
+			Name: run.Name, Queries: rep.Queries, Timeouts: rep.Timeouts,
+			Degraded: run.Degraded, Failed: run.Failed, Reopts: rep.Reopts,
 			WallSeconds: run.Wall.Seconds(), QPS: run.QPS(),
 			Phases: rep.Phases, CE: rep.CE,
 		})

@@ -133,3 +133,17 @@ func (c *Controller) ExecutedSubs() []Executed { return c.execs }
 
 // ClearTrigger resets the triggered signal before resuming execution.
 func (c *Controller) ClearTrigger() { c.Triggered = nil }
+
+// Release frees every accumulated materialized intermediate and executed
+// sub-plan record. The engine calls it when a query fails or is cancelled —
+// including a cancellation that lands mid-replan — so buffered rows never
+// outlive the query that materialized them. The controller is reusable
+// afterwards, though the engine never does.
+func (c *Controller) Release() {
+	for _, m := range c.mats {
+		m.Rows = nil
+	}
+	c.mats = make(map[query.BitSet]*plan.Materialized)
+	c.execs = nil
+	c.Triggered = nil
+}

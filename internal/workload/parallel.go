@@ -1,10 +1,36 @@
 package workload
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError wraps a panic recovered from one pool task, so a single
+// panicking query degrades to a per-query error instead of killing the
+// whole worker pool (and with it every in-flight query).
+type PanicError struct {
+	Index int    // task index that panicked
+	Value any    // the recovered panic value
+	Stack []byte // stack captured at recovery
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("workload: task %d panicked: %v", e.Index, e.Value)
+}
+
+// safeCall runs fn(i), converting a panic into a *PanicError.
+func safeCall(i int, fn func(i int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(i)
+}
 
 // RunParallel executes fn(i) for every i in [0, n) across a pool of worker
 // goroutines pulling indices from a shared atomic counter (work stealing, so
@@ -13,9 +39,18 @@ import (
 // serial baselines share this exact code path.
 //
 // The first error stops the pool: remaining workers drain without picking up
-// new indices, and that error is returned. fn must be safe to call
+// new indices, and that error is returned. A panicking task is recovered
+// into a *PanicError and treated the same way. fn must be safe to call
 // concurrently from multiple goroutines for distinct indices.
 func RunParallel(n, workers int, fn func(i int) error) error {
+	return RunParallelCtx(context.Background(), n, workers, fn)
+}
+
+// RunParallelCtx is RunParallel under a context: when ctx is cancelled the
+// pool stops picking up new indices and the context's error is returned
+// (unless a task error arrived first). In-flight tasks are not interrupted —
+// cancel-aware tasks should thread ctx themselves.
+func RunParallelCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -27,7 +62,10 @@ func RunParallel(n, workers int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := safeCall(i, fn); err != nil {
 				return err
 			}
 		}
@@ -50,7 +88,12 @@ func RunParallel(n, workers int, fn func(i int) error) error {
 				if i >= n || stopped.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := ctx.Err(); err != nil {
+					errOnce.Do(func() { firstEr = err })
+					stopped.Store(true)
+					return
+				}
+				if err := safeCall(i, fn); err != nil {
 					errOnce.Do(func() { firstEr = err })
 					stopped.Store(true)
 					return
@@ -60,4 +103,56 @@ func RunParallel(n, workers int, fn func(i int) error) error {
 	}
 	wg.Wait()
 	return firstEr
+}
+
+// RunEach executes fn(i) for every i in [0, n) across a worker pool like
+// RunParallelCtx, but never stops on task failure: each task's error (with
+// panics recovered into *PanicError) lands in the returned slice at its
+// index, nil marking success. This is the chaos-tolerant runner — one bad
+// query cannot take down the pool or starve the queries behind it.
+//
+// A cancelled ctx stops new work; tasks never started report ctx.Err().
+func RunEach(ctx context.Context, n, workers int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	if n == 0 {
+		return errs
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	run := func(i int) {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			return
+		}
+		errs[i] = safeCall(i, fn)
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			run(i)
+		}
+		return errs
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				run(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return errs
 }

@@ -7,6 +7,7 @@
 package workload
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -73,18 +74,36 @@ func (g *Generator) edgesBetween(a, b *catalog.Table) []catalog.JoinEdge {
 	return out
 }
 
-// Query generates one random query with exactly numJoins join conditions
-// (numJoins+1 relations). It panics if the schema cannot support that many
-// joins without repeating a table.
-func (g *Generator) Query(numJoins int) *query.Query {
-	for attempt := 0; ; attempt++ {
+// Generate builds one random query with exactly numJoins join conditions
+// (numJoins+1 relations), reporting an error — never panicking — when the
+// request is infeasible: an oversized join count the schema cannot support
+// without repeating a table, or a join graph with no reachable connected
+// subgraph of that size.
+func (g *Generator) Generate(numJoins int) (*query.Query, error) {
+	if numJoins < 0 {
+		return nil, fmt.Errorf("workload: negative join count %d", numJoins)
+	}
+	if n := len(g.db.Schema.Tables); numJoins+1 > n {
+		return nil, fmt.Errorf("workload: %d joins need %d distinct tables but the schema has %d",
+			numJoins, numJoins+1, n)
+	}
+	for attempt := 0; attempt <= 200; attempt++ {
 		if q := g.tryQuery(numJoins); q != nil {
-			return q
-		}
-		if attempt > 200 {
-			panic("workload: cannot build a connected query of the requested size")
+			return q, nil
 		}
 	}
+	return nil, fmt.Errorf("workload: no connected %d-join subgraph found in 200 attempts", numJoins)
+}
+
+// Query generates one random query with exactly numJoins join conditions.
+// It panics on an infeasible request; Generate is the error-returning
+// variant for callers that must survive bad input.
+func (g *Generator) Query(numJoins int) *query.Query {
+	q, err := g.Generate(numJoins)
+	if err != nil {
+		panic(err)
+	}
+	return q
 }
 
 func (g *Generator) tryQuery(numJoins int) *query.Query {

@@ -2,6 +2,8 @@ package lpce
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -87,3 +89,64 @@ func TestExperimentFacade(t *testing.T) {
 		}
 	}
 }
+
+// TestRobustnessFacade drives the fault-tolerance surface through the
+// public API: a guarded estimator over a panicky inner model, per-query
+// deadlines, and resource budgets.
+func TestRobustnessFacade(t *testing.T) {
+	db := GenerateDatabase(DataConfig{Titles: 300, Seed: 5})
+	gen := NewWorkloadGenerator(db, 6)
+	eng := NewEngine(db)
+	q := gen.Query(3)
+
+	guard := NewEstimatorGuard(panicky{}, EstimatorGuardConfig{
+		Fallback: NewHistogramEstimator(db),
+		Bound:    CrossProductBound(db),
+	})
+	res, err := eng.Execute(q, EngineConfig{Estimator: guard})
+	if err != nil {
+		t.Fatalf("guarded execution failed: %v", err)
+	}
+	base, err := eng.Execute(q, EngineConfig{Estimator: NewHistogramEstimator(db)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != base.Count {
+		t.Fatalf("guard changed the result: %d vs %d", res.Count, base.Count)
+	}
+	if guard.Stats().Panics == 0 {
+		t.Fatal("guard saw no panics from the panicky estimator")
+	}
+
+	// A 10-row materialization budget fails some query with the typed error.
+	var hit bool
+	for i := 0; i < 20 && !hit; i++ {
+		_, err := eng.Execute(gen.Query(4), EngineConfig{
+			Estimator: NewHistogramEstimator(db),
+			Limits:    ResourceLimits{MaxMatRows: 10},
+		})
+		var re *ResourceError
+		if errors.As(err, &re) {
+			hit = true
+		} else if err != nil {
+			t.Fatalf("unexpected error type: %v", err)
+		}
+	}
+	if !hit {
+		t.Fatal("no query tripped the materialization budget")
+	}
+
+	// A cancelled context fails the query with the context's error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := eng.ExecuteContext(ctx, q, EngineConfig{Estimator: NewHistogramEstimator(db)}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// panicky is an estimator that always panics, standing in for a broken
+// learned model behind the guard.
+type panicky struct{}
+
+func (panicky) Name() string                          { return "panicky" }
+func (panicky) EstimateSubset(*Query, BitSet) float64 { panic("model exploded") }
