@@ -1,0 +1,177 @@
+// Command benchdiff compares two BENCH_e2e.json perf snapshots (written by
+// `lpce-bench -bench-out`) and fails when the candidate regresses against
+// the baseline, so CI can gate merges on end-to-end performance and
+// estimator accuracy.
+//
+// Usage:
+//
+//	benchdiff -baseline BENCH_e2e.json -candidate bench_new.json
+//	          [-max-regress 0.25] [-min-seconds 0.5]
+//
+// For every configuration present in both snapshots (matched by name) it
+// compares
+//
+//   - end-to-end wall time: a regression beyond -max-regress (default +25%)
+//     fails, unless both sides are under -min-seconds (absolute slack that
+//     keeps sub-second tiny-scale runs from flapping on scheduler noise);
+//   - CE-evaluation accuracy: each estimator's sample-weighted mean q-error
+//     p50 across subset sizes, with the same relative threshold;
+//   - correctness tallies: any increase in failed queries fails outright,
+//     as does a training benchmark whose weights were not bit-identical.
+//
+// Exit status 0 when everything holds, 1 on any regression, 2 on usage or
+// I/O errors. The report prints every comparison, not just failures, so the
+// CI log doubles as a perf changelog.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/lpce-db/lpce/internal/experiments"
+	"github.com/lpce-db/lpce/internal/obs"
+)
+
+func main() {
+	baseline := flag.String("baseline", "", "baseline snapshot (committed BENCH_e2e.json)")
+	candidate := flag.String("candidate", "", "candidate snapshot to check")
+	maxRegress := flag.Float64("max-regress", 0.25, "maximum tolerated relative regression (0.25 = +25%)")
+	minSeconds := flag.Float64("min-seconds", 0.5, "ignore wall-time regressions when both runs are under this many seconds")
+	flag.Parse()
+	if *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -baseline and -candidate are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := readSnapshot(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := readSnapshot(*candidate)
+	if err != nil {
+		fatal(err)
+	}
+
+	failures := compare(os.Stdout, base, cand, *maxRegress, *minSeconds)
+	if failures > 0 {
+		fmt.Printf("\nFAIL: %d regression(s) beyond +%.0f%%\n", failures, *maxRegress*100)
+		os.Exit(1)
+	}
+	fmt.Println("\nOK: no regressions")
+}
+
+func readSnapshot(path string) (*experiments.BenchSnapshot, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s experiments.BenchSnapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return nil, fmt.Errorf("benchdiff: parse %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// compare prints every comparison and returns the number of regressions.
+func compare(w *os.File, base, cand *experiments.BenchSnapshot, maxRegress, minSeconds float64) int {
+	if base.Scale != cand.Scale {
+		fmt.Fprintf(w, "note: scale differs (baseline %q, candidate %q); comparing anyway\n", base.Scale, cand.Scale)
+	}
+	failures := 0
+	baseCfgs := make(map[string]experiments.BenchConfigSnapshot, len(base.Configs))
+	for _, c := range base.Configs {
+		baseCfgs[c.Name] = c
+	}
+	for _, c := range cand.Configs {
+		b, ok := baseCfgs[c.Name]
+		if !ok {
+			fmt.Fprintf(w, "config %-12s new in candidate, skipped\n", c.Name)
+			continue
+		}
+		failures += checkWall(w, c.Name, b.WallSeconds, c.WallSeconds, maxRegress, minSeconds)
+		if c.Failed > b.Failed {
+			fmt.Fprintf(w, "config %-12s failed queries %d -> %d  REGRESSION\n", c.Name, b.Failed, c.Failed)
+			failures++
+		}
+		failures += checkCE(w, c.Name, b, c, maxRegress)
+	}
+	if cand.Training != nil && !cand.Training.WeightsIdentical {
+		fmt.Fprintf(w, "training: parallel weights differ from serial  REGRESSION\n")
+		failures++
+	}
+	if cand.Training != nil {
+		fmt.Fprintf(w, "training: %d workers on %d cores, %.2fx speedup, weights identical: %v\n",
+			cand.Training.Workers, cand.Training.Cores, cand.Training.Speedup, cand.Training.WeightsIdentical)
+	}
+	return failures
+}
+
+func checkWall(w *os.File, name string, base, cand, maxRegress, minSeconds float64) int {
+	delta := rel(base, cand)
+	status := "ok"
+	fail := 0
+	switch {
+	case base <= 0:
+		status = "no baseline"
+	case cand <= base*(1+maxRegress):
+	case base < minSeconds && cand < minSeconds:
+		status = "ok (under min-seconds slack)"
+	default:
+		status = "REGRESSION"
+		fail = 1
+	}
+	fmt.Fprintf(w, "config %-12s e2e wall %8.3fs -> %8.3fs  (%+6.1f%%)  %s\n", name, base, cand, delta*100, status)
+	return fail
+}
+
+// checkCE compares each estimator's sample-weighted mean q-error p50.
+func checkCE(w *os.File, name string, base, cand experiments.BenchConfigSnapshot, maxRegress float64) int {
+	baseQ := make(map[string]float64)
+	for _, ce := range base.CE {
+		baseQ[ce.Estimator] = meanP50(ce)
+	}
+	failures := 0
+	for _, ce := range cand.CE {
+		b, ok := baseQ[ce.Estimator]
+		if !ok || b <= 0 {
+			continue
+		}
+		c := meanP50(ce)
+		status := "ok"
+		if c > b*(1+maxRegress) {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(w, "config %-12s q-error[%s] p50 %8.3f -> %8.3f  (%+6.1f%%)  %s\n",
+			name, ce.Estimator, b, c, rel(b, c)*100, status)
+	}
+	return failures
+}
+
+func meanP50(ce obs.CEEstimatorReport) float64 {
+	var sum float64
+	var n int
+	for _, row := range ce.Sizes {
+		sum += row.P50 * float64(row.Samples)
+		n += row.Samples
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func rel(base, cand float64) float64 {
+	if base <= 0 {
+		return 0
+	}
+	return (cand - base) / base
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

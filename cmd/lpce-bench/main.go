@@ -4,9 +4,10 @@
 //
 //	lpce-bench [-scale tiny|small|full] [-seed N] [-experiment all|table1|
 //	           figure1|endtoend|refinement|ablations|figure17|figure18|
-//	           parallel|observe] [-parallel N] [-o file]
+//	           parallel|observe|trainbench] [-parallel N] [-o file]
 //	           [-trace] [-metrics-out file] [-bench-out file]
 //	           [-timeout D] [-max-mat-rows N]
+//	           [-models-in dir] [-train-workers N]
 //
 // The default runs every experiment at small scale and streams the rendered
 // tables to stdout. "endtoend" covers Table 2 and Figures 11–15;
@@ -27,6 +28,17 @@
 // disables each). A query over budget fails alone with a typed error while
 // the rest of the workload keeps running; the summary table and bench JSON
 // report the degraded and failed counts.
+//
+// -models-in loads the SGD-trained models from a versioned artifact
+// directory written by `lpce-train -out=<dir>` instead of training them —
+// the CI bench gate uses this to cache training across runs. The artifacts
+// must match the (scale, seed) schema; a fingerprint mismatch is a hard
+// error. -train-workers fans training across goroutines when models are
+// trained in-process (weights are byte-identical for any value).
+//
+// "trainbench" (also run automatically when -bench-out is set) trains the
+// teacher model twice — serially and with -train-workers workers — asserts
+// the weights are bit-identical, and reports the speedup.
 package main
 
 import (
@@ -52,6 +64,8 @@ func main() {
 	benchOut := flag.String("bench-out", "", "write the BENCH_e2e.json perf snapshot to this file (implies -trace)")
 	timeout := flag.Duration("timeout", 0, "per-query deadline for the observe experiment (0 = none)")
 	maxMatRows := flag.Int64("max-mat-rows", 0, "per-query cap on materialized intermediate rows (0 = unlimited)")
+	modelsIn := flag.String("models-in", "", "load trained models from this artifact directory instead of training")
+	trainWorkers := flag.Int("train-workers", 0, "training worker goroutines (0 = serial; weights are identical for any value)")
 	flag.Parse()
 	if *metricsOut != "" || *benchOut != "" {
 		*trace = true
@@ -73,12 +87,22 @@ func main() {
 
 	start := time.Now()
 	fmt.Fprintf(w, "setting up environment (scale=%s, seed=%d)...\n", *scale, *seed)
-	env := experiments.Setup(experiments.ParseScale(*scale), *seed)
+	if *modelsIn != "" {
+		fmt.Fprintf(w, "loading trained models from %s\n", *modelsIn)
+	}
+	env, err := experiments.SetupWith(experiments.ParseScale(*scale), *seed, experiments.SetupOptions{
+		TrainWorkers: *trainWorkers,
+		ModelsDir:    *modelsIn,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	fmt.Fprintf(w, "setup done in %s\n\n", time.Since(start).Round(time.Millisecond))
 
 	opts := obsOpts{
 		metricsOut: *metricsOut, benchOut: *benchOut, scale: *scale, seed: *seed,
-		timeout: *timeout, maxMatRows: *maxMatRows,
+		timeout: *timeout, maxMatRows: *maxMatRows, trainWorkers: *trainWorkers,
 	}
 	if err := run(env, *exp, *workers, w, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -90,12 +114,13 @@ func main() {
 // obsOpts carries the observability output destinations and the per-query
 // resource budgets into run.
 type obsOpts struct {
-	metricsOut string
-	benchOut   string
-	scale      string
-	seed       int64
-	timeout    time.Duration
-	maxMatRows int64
+	metricsOut   string
+	benchOut     string
+	scale        string
+	seed         int64
+	timeout      time.Duration
+	maxMatRows   int64
+	trainWorkers int
 }
 
 func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpts) error {
@@ -149,6 +174,8 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 			return err
 		}
 		fmt.Fprintln(w, r.Render())
+	case "trainbench":
+		fmt.Fprintln(w, experiments.TrainBench(env, opts.trainWorkers).Render())
 	case "observe":
 		r, err := experiments.ObservabilityWithOptions(env, experiments.ObsOptions{
 			Workers: workers, Timeout: opts.timeout, MaxMatRows: opts.maxMatRows,
@@ -164,7 +191,16 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 			fmt.Fprintf(w, "observability report written to %s\n", opts.metricsOut)
 		}
 		if opts.benchOut != "" {
-			if err := writeJSON(opts.benchOut, r.Snapshot(opts.scale, opts.seed)); err != nil {
+			snap := r.Snapshot(opts.scale, opts.seed)
+			// The perf snapshot carries the training benchmark so the CI
+			// gate also watches training-side regressions (determinism and
+			// speedup).
+			snap.Training = experiments.TrainBench(env, opts.trainWorkers)
+			fmt.Fprintln(w, snap.Training.Render())
+			if !snap.Training.WeightsIdentical {
+				return fmt.Errorf("train bench: parallel weights differ from serial weights")
+			}
+			if err := writeJSON(opts.benchOut, snap); err != nil {
 				return err
 			}
 			fmt.Fprintf(w, "perf snapshot written to %s\n", opts.benchOut)

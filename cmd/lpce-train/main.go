@@ -1,93 +1,56 @@
-// Command lpce-train runs the training pipeline — synthetic database,
-// sample collection via the instrumented engine, LPCE-I distillation and
-// LPCE-R two-stage training — and saves the model weights to a directory.
+// Command lpce-train runs the training half of the experiment pipeline —
+// synthetic database, sample collection via the instrumented engine, LPCE-I
+// distillation, LPCE-R two-stage training, and the query-driven baselines —
+// and saves every model as a versioned artifact directory that
+// `lpce-bench -models-in=<dir>` loads instead of retraining.
+//
+// Training is deterministic per (scale, seed) and byte-identical for every
+// -workers value, so artifacts are cacheable by (scale, seed, code
+// version): the CI bench gate trains once, caches the directory, and every
+// subsequent run skips straight to evaluation.
 //
 // Usage:
 //
-//	lpce-train [-titles N] [-queries N] [-seed N] [-out dir]
+//	lpce-train [-scale tiny|small|full] [-seed N] [-workers N] [-out dir]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"path/filepath"
+	"runtime"
 	"time"
 
-	"github.com/lpce-db/lpce/internal/core"
-	"github.com/lpce-db/lpce/internal/datagen"
-	"github.com/lpce-db/lpce/internal/encode"
-	"github.com/lpce-db/lpce/internal/histogram"
-	"github.com/lpce-db/lpce/internal/workload"
+	"github.com/lpce-db/lpce/internal/experiments"
 )
 
 func main() {
-	titles := flag.Int("titles", 2500, "rows in the central title table")
-	queries := flag.Int("queries", 400, "training queries to generate")
-	minJoins := flag.Int("min-joins", 3, "minimum joins per training query")
-	maxJoins := flag.Int("max-joins", 8, "maximum joins per training query")
-	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("out", "models", "output directory for model weights")
+	scale := flag.String("scale", "small", "training scale: tiny, small, or full")
+	seed := flag.Int64("seed", 1, "random seed for data, workload and model init")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "training worker goroutines (weights are identical for any value)")
+	out := flag.String("out", "models", "output directory for model artifacts")
 	flag.Parse()
 
-	fmt.Printf("generating database (titles=%d, seed=%d)...\n", *titles, *seed)
-	db := datagen.Generate(datagen.Config{Titles: *titles, Seed: *seed})
-	fmt.Printf("  %d tables, %d total rows\n", len(db.Tables), db.TotalRows())
-
-	enc := encode.NewEncoder(db.Schema)
-	gen := workload.NewGenerator(db, *seed+1)
-	qs := gen.QueriesRange(*queries, *minJoins, *maxJoins)
-
-	fmt.Printf("collecting training samples from %d queries...\n", len(qs))
-	samples, stats := core.CollectSamples(db, histogram.NewEstimator(db), qs, 150_000_000)
-	fmt.Printf("  collected %d plans (%d skipped) in %s\n",
-		stats.Collected, stats.Skipped, stats.Duration.Round(time.Millisecond))
-	logMax := core.MaxLogCard(samples)
-
-	teacher := core.TrainConfig{Hidden: 48, OutWidth: 64, Epochs: 8, Batch: 32, LR: 1.5e-3, NodeWise: true, Seed: *seed}
-	student := core.TrainConfig{Hidden: 12, OutWidth: 16, Epochs: 6, Batch: 32, LR: 1.5e-3, NodeWise: true, Seed: *seed}
-
-	fmt.Println("training LPCE-I (teacher + knowledge distillation)...")
 	start := time.Now()
-	lpcei := core.TrainLPCEI(core.LPCEIConfig{Teacher: teacher, Student: student}, enc, samples, logMax)
-	fmt.Printf("  done in %s: teacher %d weights -> student %d weights (%.1fx compression)\n",
-		time.Since(start).Round(time.Millisecond),
-		lpcei.Teacher.NumWeights(), lpcei.Model.NumWeights(),
-		float64(lpcei.Teacher.NumWeights())/float64(lpcei.Model.NumWeights()))
-
-	fmt.Println("training LPCE-R (pre-train + adjustment)...")
-	start = time.Now()
-	refiner := core.TrainRefiner(core.RefinerConfig{
-		Kind: core.RefinerFull, Base: teacher, AdjustEpochs: 5, PrefixesPerSample: 3,
-	}, enc, db, samples, logMax)
-	fmt.Printf("  done in %s\n", time.Since(start).Round(time.Millisecond))
-
-	if err := os.MkdirAll(*out, 0o755); err != nil {
+	fmt.Printf("training environment (scale=%s, seed=%d, workers=%d)...\n", *scale, *seed, *workers)
+	env, err := experiments.SetupWith(experiments.ParseScale(*scale), *seed, experiments.SetupOptions{
+		TrainWorkers: *workers,
+		TrainOnly:    true,
+	})
+	if err != nil {
 		fatal(err)
 	}
-	fmt.Println("saving models (self-describing: architecture + weights)...")
-	for name, write := range map[string]func(string) error{
-		"lpce-i.gob":         func(p string) error { return core.SaveTreeModelFile(p, lpcei.Model) },
-		"lpce-i-teacher.gob": func(p string) error { return core.SaveTreeModelFile(p, lpcei.Teacher) },
-		"lpce-r.gob": func(p string) error {
-			f, err := os.Create(p)
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			if err := core.SaveRefiner(f, refiner); err != nil {
-				return err
-			}
-			return f.Close()
-		},
-	} {
-		path := filepath.Join(*out, name)
-		if err := write(path); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("  wrote %s\n", path)
+	fmt.Printf("  collected %d plans (%d skipped), trained all models in %s\n",
+		env.CollectStats.Collected, env.CollectStats.Skipped, env.TrainTime.Round(time.Millisecond))
+	fmt.Printf("  teacher %d weights -> student %d weights (%.1fx compression)\n",
+		env.LPCEI.Teacher.NumWeights(), env.LPCEI.Model.NumWeights(),
+		float64(env.LPCEI.Teacher.NumWeights())/float64(env.LPCEI.Model.NumWeights()))
+
+	if err := env.ModelSet().Save(*out, env.Enc); err != nil {
+		fatal(err)
 	}
-	fmt.Printf("training complete; normalization logMax=%.4f travels inside the model files\n", logMax)
+	fmt.Printf("artifacts written to %s (schema fingerprint %016x) in %s total\n",
+		*out, env.Enc.Fingerprint(), time.Since(start).Round(time.Millisecond))
 }
 
 func fatal(err error) {

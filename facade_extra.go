@@ -9,6 +9,7 @@ import (
 	"github.com/lpce-db/lpce/internal/exec"
 	"github.com/lpce-db/lpce/internal/experiments"
 	"github.com/lpce-db/lpce/internal/maintain"
+	"github.com/lpce-db/lpce/internal/modelio"
 	"github.com/lpce-db/lpce/internal/obs"
 	"github.com/lpce-db/lpce/internal/sqlparse"
 )
@@ -145,4 +146,32 @@ func NewEstimatorGuard(inner Estimator, cfg EstimatorGuardConfig) *EstimatorGuar
 // subset — for use as EstimatorGuardConfig.Bound.
 func CrossProductBound(db *Database) func(*Query, BitSet) float64 {
 	return cardest.CrossProductBound(db)
+}
+
+// Versioned model artifacts (cmd/lpce-train <-> cmd/lpce-bench).
+
+// ModelSet bundles every SGD-trained model of one experiment environment
+// into a versioned on-disk artifact directory. Loading validates the format
+// version and the encoder's dimension and schema fingerprint, so artifacts
+// cannot silently be applied to a database they were not trained on.
+type ModelSet = modelio.Set
+
+// SaveModelSet writes the set into dir (created if needed), one
+// checksummed artifact file per model.
+func SaveModelSet(s *ModelSet, dir string, enc *Encoder) error { return s.Save(dir, enc) }
+
+// LoadModelSet reads a complete artifact directory written by SaveModelSet.
+func LoadModelSet(dir string, enc *Encoder, db *Database) (*ModelSet, error) {
+	return modelio.LoadSet(dir, enc, db)
+}
+
+// ExperimentOptions tune SetupExperimentsWith beyond scale and seed: the
+// training worker count (weights are byte-identical for any value), an
+// artifact directory to load models from instead of training, and a
+// train-only mode that skips test-workload construction.
+type ExperimentOptions = experiments.SetupOptions
+
+// SetupExperimentsWith is SetupExperiments with explicit options.
+func SetupExperimentsWith(scale ExperimentScale, seed int64, opts ExperimentOptions) (*ExperimentEnv, error) {
+	return experiments.SetupWith(scale, seed, opts)
 }

@@ -6,8 +6,6 @@
 package baselines
 
 import (
-	"math/rand"
-
 	"github.com/lpce-db/lpce/internal/autodiff"
 	"github.com/lpce-db/lpce/internal/cardest"
 	"github.com/lpce-db/lpce/internal/catalog"
@@ -25,7 +23,17 @@ type MSCNConfig struct {
 	Batch  int
 	LR     float64
 	Seed   int64
+	// Workers fans per-example gradient passes across goroutines, with the
+	// same order-fixed reduction as core.TrainConfig.Workers.
+	Workers int
 }
+
+// Shuffle streams for the baselines' EpochOrder calls; values are arbitrary
+// but distinct per training phase.
+const (
+	streamMSCN = iota + 101
+	streamFlowLoss
+)
 
 // Defaults fills zero fields.
 func (c MSCNConfig) Defaults() MSCNConfig {
@@ -59,6 +67,20 @@ type MSCN struct {
 	hidden  int
 	numCols int
 	LogMax  float64
+}
+
+// replica returns an MSCN sharing this model's weights with private
+// gradient buffers, for data-parallel training workers.
+func (m *MSCN) replica() *MSCN {
+	ps := m.Params.ShareWeights()
+	return &MSCN{
+		Params: ps, schema: m.schema, hidden: m.hidden, numCols: m.numCols,
+		LogMax: m.LogMax,
+		tables: m.tables.ShareWeights(ps),
+		joins:  m.joins.ShareWeights(ps),
+		preds:  m.preds.ShareWeights(ps),
+		out:    m.out.ShareWeights(ps),
+	}
 }
 
 // table element: one-hot over tables; join element: two-hot over columns;
@@ -159,28 +181,27 @@ func TrainMSCN(cfg MSCNConfig, schema *catalog.Schema, samples []core.Sample, lo
 		})
 	}
 	opt := nn.NewAdam(cfg.LR)
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	order := make([]int, len(exs))
-	for i := range order {
-		order[i] = i
-	}
+	pool := core.NewGradPool(cfg.Workers, cfg.Batch, []*nn.Params{m.Params},
+		func() (func(int, float64), []*nn.Params) {
+			rep := m.replica()
+			run := func(ei int, weight float64) {
+				ex := exs[ei]
+				t := autodiff.NewTape()
+				pred := rep.forward(t, ex.q, ex.mask)
+				loss := nn.QErrorLoss(t, pred, ex.card, rep.LogMax)
+				loss.Grad[0] = weight
+				t.BackwardFrom()
+			}
+			return run, []*nn.Params{rep.Params}
+		})
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		order := core.EpochOrder(cfg.Seed+1, streamMSCN, epoch, len(exs))
 		for b := 0; b < len(order); b += cfg.Batch {
 			end := b + cfg.Batch
 			if end > len(order) {
 				end = len(order)
 			}
-			m.Params.ZeroGrad()
-			inv := 1 / float64(end-b)
-			for _, ei := range order[b:end] {
-				ex := exs[ei]
-				t := autodiff.NewTape()
-				pred := m.forward(t, ex.q, ex.mask)
-				loss := nn.QErrorLoss(t, pred, ex.card, m.LogMax)
-				loss.Grad[0] = inv
-				t.BackwardFrom()
-			}
+			pool.RunBatch(order[b:end], 1/float64(end-b))
 			m.Params.ClipGrad(5)
 			opt.Step(m.Params)
 		}

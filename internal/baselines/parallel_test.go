@@ -1,0 +1,44 @@
+package baselines
+
+import (
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/nn"
+)
+
+func sameWeights(t *testing.T, what string, a, b []*nn.Param) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: param count %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		for j := range a[i].Val {
+			if a[i].Val[j] != b[i].Val[j] {
+				t.Fatalf("%s: %s[%d] = %v (serial) vs %v (parallel)",
+					what, a[i].Name, j, a[i].Val[j], b[i].Val[j])
+			}
+		}
+	}
+}
+
+func TestTrainMSCNParallelDeterministic(t *testing.T) {
+	db, _, samples, logMax := fixture(t)
+	mk := func(workers int) *MSCN {
+		cfg := MSCNConfig{Hidden: 16, Epochs: 2, Batch: 32, LR: 3e-3, Seed: 5, Workers: workers}
+		return TrainMSCN(cfg, db.Schema, samples, logMax)
+	}
+	serial, parallel := mk(1), mk(4)
+	sameWeights(t, "mscn", serial.Params.All(), parallel.Params.All())
+}
+
+func TestTrainFlowLossParallelDeterministic(t *testing.T) {
+	_, enc, samples, logMax := fixture(t)
+	mk := func(workers int) *core.TreeEstimator {
+		cfg := tinyCfg(6)
+		cfg.Workers = workers
+		return TrainFlowLoss(cfg, enc, samples, logMax)
+	}
+	serial, parallel := mk(1), mk(4)
+	sameWeights(t, "flow-loss", serial.Model.Params.All(), parallel.Model.Params.All())
+}

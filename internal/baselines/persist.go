@@ -1,0 +1,43 @@
+package baselines
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+)
+
+// mscnSpec is the architecture metadata that travels with MSCN weights; the
+// set-MLP dimensions themselves derive from the schema the loader supplies.
+type mscnSpec struct {
+	Hidden int
+	LogMax float64
+}
+
+// SaveMSCN writes a trained MSCN (architecture + weights) to w.
+func SaveMSCN(w io.Writer, m *MSCN) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(mscnSpec{Hidden: m.hidden, LogMax: m.LogMax}); err != nil {
+		return fmt.Errorf("baselines: encode mscn spec: %w", err)
+	}
+	return m.Params.EncodeGob(enc)
+}
+
+// LoadMSCN reconstructs an MSCN written by SaveMSCN. The schema is a runtime
+// dependency that does not travel with the weights; it must match the one
+// used at training time (modelio's encoder fingerprint enforces this for
+// artifact files).
+func LoadMSCN(r io.Reader, schema *catalog.Schema) (*MSCN, error) {
+	dec := gob.NewDecoder(r)
+	var spec mscnSpec
+	if err := dec.Decode(&spec); err != nil {
+		return nil, fmt.Errorf("baselines: decode mscn spec: %w", err)
+	}
+	m := NewMSCN(MSCNConfig{Hidden: spec.Hidden}, schema)
+	m.LogMax = spec.LogMax
+	if err := m.Params.DecodeGob(dec); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -2,7 +2,6 @@ package baselines
 
 import (
 	"math"
-	"math/rand"
 
 	"github.com/lpce-db/lpce/internal/autodiff"
 	"github.com/lpce-db/lpce/internal/core"
@@ -44,35 +43,39 @@ func TrainFlowLoss(cfg core.TrainConfig, enc *encode.Encoder, samples []core.Sam
 
 	if len(samples) > 0 {
 		opt := nn.NewAdam(cfg.LR)
-		rng := rand.New(rand.NewSource(cfg.Seed + 1))
-		order := make([]int, len(samples))
-		for i := range order {
-			order[i] = i
-		}
+		pool := core.NewGradPool(cfg.Workers, cfg.Batch, []*nn.Params{m.Params},
+			func() (func(int, float64), []*nn.Params) {
+				rep := m.Replica()
+				run := func(si int, weight float64) {
+					s := samples[si]
+					t := autodiff.NewTape()
+					outs := rep.Forward(t, s.Plan, feat, nil)
+					weights := costWeights(s.Plan)
+					// Walk nodes in post-order rather than map order: tape
+					// ops record in loop order and backward reduces in tape
+					// order, so a randomized map walk would break the
+					// byte-identical-weights guarantee.
+					for _, n := range s.Plan.Nodes() {
+						w, hasW := weights[n]
+						out, ok := outs[n]
+						if !hasW || !ok || n.TrueCard < 0 {
+							continue
+						}
+						loss := nn.QErrorLoss(t, out.Pred, n.TrueCard, rep.LogMax)
+						loss.Grad[0] = w * weight
+					}
+					t.BackwardFrom()
+				}
+				return run, []*nn.Params{rep.Params}
+			})
 		for epoch := 0; epoch < cfg.Epochs; epoch++ {
-			rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			order := core.EpochOrder(cfg.Seed+1, streamFlowLoss, epoch, len(samples))
 			for b := 0; b < len(order); b += cfg.Batch {
 				end := b + cfg.Batch
 				if end > len(order) {
 					end = len(order)
 				}
-				m.Params.ZeroGrad()
-				inv := 1 / float64(end-b)
-				for _, si := range order[b:end] {
-					s := samples[si]
-					t := autodiff.NewTape()
-					outs := m.Forward(t, s.Plan, feat, nil)
-					weights := costWeights(s.Plan)
-					for n, w := range weights {
-						out, ok := outs[n]
-						if !ok || n.TrueCard < 0 {
-							continue
-						}
-						loss := nn.QErrorLoss(t, out.Pred, n.TrueCard, m.LogMax)
-						loss.Grad[0] = w * inv
-					}
-					t.BackwardFrom()
-				}
+				pool.RunBatch(order[b:end], 1/float64(end-b))
 				m.Params.ClipGrad(cfg.ClipNorm)
 				opt.Step(m.Params)
 			}

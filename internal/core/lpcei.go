@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math/rand"
-
 	"github.com/lpce-db/lpce/internal/autodiff"
 	"github.com/lpce-db/lpce/internal/cardest"
 	"github.com/lpce-db/lpce/internal/encode"
@@ -97,17 +95,12 @@ func Distill(cfg LPCEIConfig, enc *encode.Encoder, teacher *treenn.TreeModel, sa
 	// Adapters p_e, p_s mapping student widths to teacher widths (Eq. 4).
 	aps := nn.NewParams()
 	rng := tensor.NewRNG(cfg.Student.Seed + 23)
-	pe := nn.NewLinear(aps, "pe", cfg.Student.Hidden, cfg.Teacher.Hidden, rng)
-	psAdapter := nn.NewLinear(aps, "ps", cfg.Student.Hidden, cfg.Teacher.Hidden, rng)
-
-	shuffled := rand.New(rand.NewSource(cfg.Student.Seed + 31))
-	order := make([]int, len(samples))
-	for i := range order {
-		order[i] = i
-	}
+	nn.NewLinear(aps, "pe", cfg.Student.Hidden, cfg.Teacher.Hidden, rng)
+	nn.NewLinear(aps, "ps", cfg.Student.Hidden, cfg.Teacher.Hidden, rng)
 
 	// teacherOuts runs the teacher without gradients and returns detached
-	// copies of the per-node tensors the student matches.
+	// copies of the per-node tensors the student matches. The teacher's
+	// weights are only read, so workers share it safely.
 	type tOut struct {
 		x, h  tensor.Vec
 		logit float64
@@ -125,33 +118,44 @@ func Distill(cfg LPCEIConfig, enc *encode.Encoder, teacher *treenn.TreeModel, sa
 	// Phase 1: hint loss.
 	optStudent := nn.NewAdam(cfg.Student.LR)
 	optAdapter := nn.NewAdam(cfg.Student.LR)
+	hintPool := NewGradPool(cfg.Student.Workers, cfg.Student.Batch, []*nn.Params{student.Params, aps},
+		func() (func(int, float64), []*nn.Params) {
+			rep := student.Replica()
+			apsRep := aps.ShareWeights()
+			pe := &nn.Linear{W: apsRep.Get("pe.W"), B: apsRep.Get("pe.b")}
+			psAdapter := &nn.Linear{W: apsRep.Get("ps.W"), B: apsRep.Get("ps.b")}
+			run := func(si int, weight float64) {
+				s := samples[si]
+				tOuts := teacherOuts(s)
+				t := autodiff.NewTape()
+				sOuts := rep.Forward(t, s.Plan, feat, nil)
+				// Iterate nodes in post-order, not map order: the tape
+				// records ops in loop order and backward accumulates in tape
+				// order, so a randomized map walk would make the float
+				// reduction order — and hence the weights — nondeterministic.
+				for _, n := range s.Plan.Nodes() {
+					so := sOuts[n]
+					to, ok := tOuts[n]
+					if so == nil || !ok {
+						continue
+					}
+					lx := t.AbsDiffSum(t.Const(to.x), pe.Apply(t, so.X))
+					lh := t.AbsDiffSum(t.Const(to.h), psAdapter.Apply(t, so.H))
+					lx.Grad[0] = weight
+					lh.Grad[0] = weight
+				}
+				t.BackwardFrom()
+			}
+			return run, []*nn.Params{rep.Params, apsRep}
+		})
 	for epoch := 0; epoch < cfg.HintEpochs; epoch++ {
-		shuffled.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		order := EpochOrder(cfg.Student.Seed, streamDistillHint, epoch, len(samples))
 		for b := 0; b < len(order); b += cfg.Student.Batch {
 			end := b + cfg.Student.Batch
 			if end > len(order) {
 				end = len(order)
 			}
-			student.Params.ZeroGrad()
-			aps.ZeroGrad()
-			inv := 1 / float64(end-b)
-			for _, si := range order[b:end] {
-				s := samples[si]
-				tOuts := teacherOuts(s)
-				t := autodiff.NewTape()
-				sOuts := student.Forward(t, s.Plan, feat, nil)
-				for n, so := range sOuts {
-					to, ok := tOuts[n]
-					if !ok {
-						continue
-					}
-					lx := t.AbsDiffSum(t.Const(to.x), pe.Apply(t, so.X))
-					lh := t.AbsDiffSum(t.Const(to.h), psAdapter.Apply(t, so.H))
-					lx.Grad[0] = inv
-					lh.Grad[0] = inv
-				}
-				t.BackwardFrom()
-			}
+			hintPool.RunBatch(order[b:end], 1/float64(end-b))
 			student.Params.ClipGrad(cfg.Student.ClipNorm)
 			aps.ClipGrad(cfg.Student.ClipNorm)
 			optStudent.Step(student.Params)
@@ -161,32 +165,39 @@ func Distill(cfg LPCEIConfig, enc *encode.Encoder, teacher *treenn.TreeModel, sa
 
 	// Phase 2: prediction loss αq + (1−α)|logit_t − logit_s| (Eq. 5).
 	optCal := nn.NewAdam(cfg.Student.LR)
+	calPool := NewGradPool(cfg.Student.Workers, cfg.Student.Batch, []*nn.Params{student.Params},
+		func() (func(int, float64), []*nn.Params) {
+			rep := student.Replica()
+			run := func(si int, weight float64) {
+				s := samples[si]
+				tOuts := teacherOuts(s)
+				t := autodiff.NewTape()
+				sOuts := rep.Forward(t, s.Plan, feat, nil)
+				// Post-order for the same reason as the hint phase: backward
+				// reduction order must not depend on map iteration.
+				for _, n := range s.Plan.Nodes() {
+					so := sOuts[n]
+					to, ok := tOuts[n]
+					if so == nil || !ok || n.TrueCard < 0 {
+						continue
+					}
+					qloss := nn.QErrorLoss(t, so.Pred, n.TrueCard, rep.LogMax)
+					qloss.Grad[0] = cfg.Alpha * weight
+					ldiff := t.AbsDiffSum(t.Const(tensor.Vec{to.logit}), so.Logit)
+					ldiff.Grad[0] = (1 - cfg.Alpha) * weight
+				}
+				t.BackwardFrom()
+			}
+			return run, []*nn.Params{rep.Params}
+		})
 	for epoch := 0; epoch < cfg.PredictEpochs; epoch++ {
-		shuffled.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		order := EpochOrder(cfg.Student.Seed, streamDistillPredict, epoch, len(samples))
 		for b := 0; b < len(order); b += cfg.Student.Batch {
 			end := b + cfg.Student.Batch
 			if end > len(order) {
 				end = len(order)
 			}
-			student.Params.ZeroGrad()
-			inv := 1 / float64(end-b)
-			for _, si := range order[b:end] {
-				s := samples[si]
-				tOuts := teacherOuts(s)
-				t := autodiff.NewTape()
-				sOuts := student.Forward(t, s.Plan, feat, nil)
-				for n, so := range sOuts {
-					to, ok := tOuts[n]
-					if !ok || n.TrueCard < 0 {
-						continue
-					}
-					qloss := nn.QErrorLoss(t, so.Pred, n.TrueCard, student.LogMax)
-					qloss.Grad[0] = cfg.Alpha * inv
-					ldiff := t.AbsDiffSum(t.Const(tensor.Vec{to.logit}), so.Logit)
-					ldiff.Grad[0] = (1 - cfg.Alpha) * inv
-				}
-				t.BackwardFrom()
-			}
+			calPool.RunBatch(order[b:end], 1/float64(end-b))
 			student.Params.ClipGrad(cfg.Student.ClipNorm)
 			optCal.Step(student.Params)
 		}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math/rand"
 	"sort"
 
 	"github.com/lpce-db/lpce/internal/autodiff"
@@ -63,6 +62,19 @@ func NewConnectLayer(hidden int, seed int64) *ConnectLayer {
 		wa:     nn.NewLinear(ps, "connect.wa", hidden, hidden, rng),
 		wb:     nn.NewLinear(ps, "connect.wb", hidden, hidden, rng),
 		wout:   nn.NewLinear(ps, "connect.wout", hidden, hidden, rng),
+	}
+}
+
+// Replica returns a connect layer sharing this layer's weights with private
+// gradient buffers, for data-parallel adjustment workers. Like
+// treenn.TreeModel.Replica, it must not be stepped by an optimizer.
+func (c *ConnectLayer) Replica() *ConnectLayer {
+	ps := c.Params.ShareWeights()
+	return &ConnectLayer{
+		Params: ps,
+		wa:     &nn.Linear{W: ps.Get("connect.wa.W"), B: ps.Get("connect.wa.b")},
+		wb:     &nn.Linear{W: ps.Get("connect.wb.W"), B: ps.Get("connect.wb.b")},
+		wout:   &nn.Linear{W: ps.Get("connect.wout.W"), B: ps.Get("connect.wout.b")},
 	}
 }
 
@@ -156,6 +168,9 @@ func cloneModel(m *treenn.TreeModel) *treenn.TreeModel {
 // embeddings enter the tape as constants) and the refine module — plus the
 // connect layer for the full design — is fine-tuned to predict the
 // cardinalities of the remaining operators for random executed prefixes.
+// The prefix cut points are drawn in the main goroutine in epoch order
+// before each epoch's batches run, so they are identical for every
+// Workers setting.
 func (r *Refiner) adjust(cfg RefinerConfig, samples []Sample) {
 	if len(samples) == 0 {
 		return
@@ -165,41 +180,39 @@ func (r *Refiner) adjust(cfg RefinerConfig, samples []Sample) {
 	if r.Connect != nil {
 		optConnect = nn.NewAdam(cfg.Base.LR)
 	}
-	rng := rand.New(rand.NewSource(cfg.Base.Seed + 53))
-	order := make([]int, len(samples))
-	for i := range order {
-		order[i] = i
-	}
 	plainFeat := func(n *plan.Node) tensor.Vec { return r.Enc.EncodeNode(n) }
 
-	for epoch := 0; epoch < cfg.AdjustEpochs; epoch++ {
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
-		for b := 0; b < len(order); b += cfg.Base.Batch {
-			end := b + cfg.Base.Batch
-			if end > len(order) {
-				end = len(order)
-			}
-			r.Refine.Params.ZeroGrad()
+	master := []*nn.Params{r.Refine.Params}
+	if r.Connect != nil {
+		master = append(master, r.Connect.Params)
+	}
+	// order and ks are refreshed per epoch by the main goroutine between
+	// batches; RunBatch's WaitGroup ordering makes the writes visible to the
+	// workers, which index both by epoch-order position.
+	var order []int
+	var ks [][]int
+	pool := NewGradPool(cfg.Base.Workers, cfg.Base.Batch, master,
+		func() (func(int, float64), []*nn.Params) {
+			refRep := r.Refine.Replica()
+			var conRep *ConnectLayer
+			grads := []*nn.Params{refRep.Params}
+			connect := r.Connect
 			if r.Connect != nil {
-				r.Connect.Params.ZeroGrad()
+				conRep = r.Connect.Replica()
+				connect = conRep
+				grads = append(grads, conRep.Params)
 			}
-			inv := 1 / float64(end-b)
-			for _, si := range order[b:end] {
-				s := samples[si]
-				m := s.Plan.NumNodes()
-				if m < 2 {
-					continue
-				}
-				for p := 0; p < cfg.PrefixesPerSample; p++ {
-					k := 1 + rng.Intn(m-1)
+			run := func(oi int, weight float64) {
+				s := samples[order[oi]]
+				for _, k := range ks[oi] {
 					execRoots, remaining := PrefixSubtrees(s.Plan, k)
 					if len(execRoots) == 0 || len(remaining) == 0 {
 						continue
 					}
 					t := autodiff.NewTape()
-					childC := r.executedOverrides(t, execRoots)
-					outs := r.Refine.Forward(t, s.Plan, plainFeat, childC)
-					w := inv / float64(cfg.PrefixesPerSample)
+					childC := r.executedOverridesUsing(t, connect, execRoots)
+					outs := refRep.Forward(t, s.Plan, plainFeat, childC)
+					w := weight / float64(cfg.PrefixesPerSample)
 					for _, n := range remaining {
 						out, ok := outs[n]
 						if !ok || n.TrueCard < 0 {
@@ -211,6 +224,36 @@ func (r *Refiner) adjust(cfg RefinerConfig, samples []Sample) {
 					t.BackwardFrom()
 				}
 			}
+			return run, grads
+		})
+
+	// Batches index epoch-order positions, not sample indices, so the
+	// pre-drawn ks line up with their samples.
+	pos := make([]int, len(samples))
+	for i := range pos {
+		pos[i] = i
+	}
+	for epoch := 0; epoch < cfg.AdjustEpochs; epoch++ {
+		order = EpochOrder(cfg.Base.Seed, streamAdjust, epoch, len(samples))
+		prng := epochRand(cfg.Base.Seed, streamAdjustPrefix, epoch)
+		ks = make([][]int, len(order))
+		for i, si := range order {
+			m := samples[si].Plan.NumNodes()
+			if m < 2 {
+				continue
+			}
+			ki := make([]int, cfg.PrefixesPerSample)
+			for p := range ki {
+				ki[p] = 1 + prng.Intn(m-1)
+			}
+			ks[i] = ki
+		}
+		for b := 0; b < len(pos); b += cfg.Base.Batch {
+			end := b + cfg.Base.Batch
+			if end > len(pos) {
+				end = len(pos)
+			}
+			pool.RunBatch(pos[b:end], 1/float64(end-b))
 			r.Refine.Params.ClipGrad(cfg.Base.ClipNorm)
 			optRefine.Step(r.Refine.Params)
 			if r.Connect != nil {
@@ -227,12 +270,19 @@ func (r *Refiner) adjust(cfg RefinerConfig, samples []Sample) {
 // embedding alone (two-module ablation). The module embeddings are detached
 // so no gradient reaches the frozen modules.
 func (r *Refiner) executedOverrides(t *autodiff.Tape, execRoots []*plan.Node) map[*plan.Node]*autodiff.Node {
+	return r.executedOverridesUsing(t, r.Connect, execRoots)
+}
+
+// executedOverridesUsing is executedOverrides with an explicit connect
+// layer, so adjustment workers substitute their gradient replicas while the
+// frozen content/cardinality modules are shared read-only.
+func (r *Refiner) executedOverridesUsing(t *autodiff.Tape, connect *ConnectLayer, execRoots []*plan.Node) map[*plan.Node]*autodiff.Node {
 	childC := make(map[*plan.Node]*autodiff.Node, len(execRoots))
 	for _, sub := range execRoots {
 		cB := r.moduleEmbedding(r.CardM, sub, CardFeature(r.Enc, r.LogMax, r.DB))
 		if r.Kind == RefinerFull {
 			cA := r.moduleEmbedding(r.Content, sub, func(n *plan.Node) tensor.Vec { return r.Enc.EncodeNode(n) })
-			childC[sub] = r.Connect.Apply(t, t.Const(cA), t.Const(cB))
+			childC[sub] = connect.Apply(t, t.Const(cA), t.Const(cB))
 		} else {
 			childC[sub] = t.Const(cB)
 		}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+
+	"github.com/lpce-db/lpce/internal/nn"
+)
+
+// Shuffle streams. Every training phase draws its per-epoch sample order
+// (and any auxiliary randomness) from its own stream so the phases stay
+// independent of each other, of the worker count, and of how many epochs
+// ran before — see EpochOrder.
+const (
+	streamTrainLoop = iota + 1
+	streamDistillHint
+	streamDistillPredict
+	streamAdjust
+	streamAdjustPrefix
+)
+
+// mixSeed derives the RNG seed of one (stream, epoch) cell from the user
+// seed with a splitmix64-style finalizer, so neighbouring cells produce
+// unrelated sequences.
+func mixSeed(seed int64, stream, epoch int) int64 {
+	z := uint64(seed) ^ 0x9e3779b97f4a7c15
+	z += 0xbf58476d1ce4e5b9 * uint64(stream+1)
+	z += 0x94d049bb133111eb * uint64(epoch+1)
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
+}
+
+// epochRand returns the RNG of one (stream, epoch) cell.
+func epochRand(seed int64, stream, epoch int) *rand.Rand {
+	return rand.New(rand.NewSource(mixSeed(seed, stream, epoch)))
+}
+
+// EpochOrder returns the deterministic minibatch sample order of one
+// training epoch: a permutation of [0, n) that is a pure function of
+// (seed, stream, epoch). Earlier versions derived every epoch's order from
+// one sequential RNG stream, so the order of epoch k depended on having
+// replayed epochs 0..k-1 in the same process — reproducibility broke under
+// epoch-resume and any configuration change that consumed randomness.
+// EpochOrder's independence per cell is also what keeps the shuffle
+// identical across TrainConfig.Workers settings.
+func EpochOrder(seed int64, stream, epoch, n int) []int {
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	epochRand(seed, stream, epoch).Shuffle(n, func(i, j int) {
+		order[i], order[j] = order[j], order[i]
+	})
+	return order
+}
+
+// gradWorker is one goroutine's training state: a closure computing one
+// sample's gradients plus the private replica registries it writes them to.
+type gradWorker struct {
+	run   func(si int, weight float64)
+	grads []*nn.Params
+}
+
+// GradPool fans a minibatch's per-sample forward/backward passes across a
+// fixed set of workers while keeping the accumulated gradient bit-identical
+// to serial execution for any worker count: every sample's backward pass
+// runs against a private weight-sharing replica, its flat gradient is
+// copied into the slot of the sample's position in the batch, and the slots
+// are reduced into the master registries in ascending position order. The
+// reduction order — not the execution order — determines the floating-point
+// result, so scheduling is free to be arbitrary.
+type GradPool struct {
+	workers int
+	master  []*nn.Params
+	ws      []gradWorker
+	bufs    [][]float64 // one flat gradient slot per batch position
+}
+
+// NewGradPool builds the pool. newWorker is called once per worker and must
+// return a per-sample gradient closure together with the replica registries
+// it accumulates into, parallel to master.
+func NewGradPool(workers, maxBatch int, master []*nn.Params, newWorker func() (func(si int, weight float64), []*nn.Params)) *GradPool {
+	if workers < 1 {
+		workers = 1
+	}
+	size := 0
+	for _, ps := range master {
+		size += ps.NumWeights()
+	}
+	p := &GradPool{workers: workers, master: master}
+	for w := 0; w < workers; w++ {
+		run, grads := newWorker()
+		if len(grads) != len(master) {
+			panic("core: worker registries do not match master")
+		}
+		p.ws = append(p.ws, gradWorker{run: run, grads: grads})
+	}
+	p.bufs = make([][]float64, maxBatch)
+	for i := range p.bufs {
+		p.bufs[i] = make([]float64, size)
+	}
+	return p
+}
+
+// snapshot copies a worker's replica gradients into the slot for one batch
+// position.
+func (w gradWorker) snapshot(buf []float64) {
+	off := 0
+	for _, ps := range w.grads {
+		off = ps.CopyGradTo(buf, off)
+	}
+}
+
+// RunBatch computes the summed gradient of the samples at idxs into the
+// master registries (which are zeroed first). weight scales each sample's
+// loss seed, typically 1/len(idxs).
+func (p *GradPool) RunBatch(idxs []int, weight float64) {
+	for _, ps := range p.master {
+		ps.ZeroGrad()
+	}
+	one := func(w gradWorker, pos int) {
+		for _, ps := range w.grads {
+			ps.ZeroGrad()
+		}
+		w.run(idxs[pos], weight)
+		w.snapshot(p.bufs[pos])
+	}
+	if p.workers == 1 {
+		for pos := range idxs {
+			one(p.ws[0], pos)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for wi := 0; wi < p.workers; wi++ {
+			wg.Add(1)
+			go func(wi int) {
+				defer wg.Done()
+				for pos := wi; pos < len(idxs); pos += p.workers {
+					one(p.ws[wi], pos)
+				}
+			}(wi)
+		}
+		wg.Wait()
+	}
+	// Ordered reduction: the only floating-point accumulation across
+	// samples, fixed by batch position regardless of worker count.
+	for pos := range idxs {
+		off := 0
+		for _, ps := range p.master {
+			off = ps.AddGradFrom(p.bufs[pos], off)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/nn"
+)
+
+// sameWeights compares two parameter lists bit for bit and reports the first
+// divergence.
+func sameWeights(t *testing.T, what string, a, b []*nn.Param) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: param count %d vs %d", what, len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Val) != len(b[i].Val) {
+			t.Fatalf("%s: param %d shape mismatch (%s vs %s)", what, i, a[i].Name, b[i].Name)
+		}
+		for j := range a[i].Val {
+			if a[i].Val[j] != b[i].Val[j] {
+				t.Fatalf("%s: %s[%d] = %v (serial) vs %v (parallel) — weights not byte-identical",
+					what, a[i].Name, j, a[i].Val[j], b[i].Val[j])
+			}
+		}
+	}
+}
+
+func TestEpochOrderDeterministicPermutation(t *testing.T) {
+	const n = 97
+	a := EpochOrder(7, streamTrainLoop, 3, n)
+	b := EpochOrder(7, streamTrainLoop, 3, n)
+	if len(a) != n {
+		t.Fatalf("order length %d", len(a))
+	}
+	seen := make([]bool, n)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("EpochOrder is not a pure function of (seed, stream, epoch, n)")
+		}
+		if a[i] < 0 || a[i] >= n || seen[a[i]] {
+			t.Fatalf("not a permutation: index %d at position %d", a[i], i)
+		}
+		seen[a[i]] = true
+	}
+}
+
+func TestEpochOrderStreamsIndependent(t *testing.T) {
+	// Different epochs and different streams must draw from unrelated
+	// shuffles; a coupled RNG stream would replay the same permutation.
+	same := func(a, b []int) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	base := EpochOrder(7, streamTrainLoop, 0, 64)
+	if same(base, EpochOrder(7, streamTrainLoop, 1, 64)) {
+		t.Fatal("consecutive epochs produced identical shuffles")
+	}
+	if same(base, EpochOrder(7, streamDistillHint, 0, 64)) {
+		t.Fatal("distinct streams produced identical shuffles")
+	}
+	if same(base, EpochOrder(8, streamTrainLoop, 0, 64)) {
+		t.Fatal("distinct seeds produced identical shuffles")
+	}
+}
+
+// TestTrainTreeModelParallelDeterministic is the tentpole invariant: training
+// with a worker pool produces weights byte-identical to serial training,
+// because per-sample gradients are buffered and reduced in sample-index
+// order regardless of which goroutine computed them.
+func TestTrainTreeModelParallelDeterministic(t *testing.T) {
+	_, enc, samples, logMax := fixture(t)
+	cfg := tinyCfg(31)
+	cfg.Workers = 1
+	serial := TrainTreeModel(cfg, enc, samples, logMax, nil)
+	cfg.Workers = 4
+	parallel := TrainTreeModel(cfg, enc, samples, logMax, nil)
+	sameWeights(t, "tree model", serial.Params.All(), parallel.Params.All())
+}
+
+func TestTrainLPCEIParallelDeterministic(t *testing.T) {
+	_, enc, samples, logMax := fixture(t)
+	mk := func(workers int) *LPCEI {
+		cfg := LPCEIConfig{
+			Teacher: TrainConfig{Hidden: 24, OutWidth: 32, Epochs: 3, Batch: 16, LR: 3e-3, NodeWise: true, Seed: 32, Workers: workers},
+			Student: TrainConfig{Hidden: 8, OutWidth: 8, Epochs: 3, Batch: 16, LR: 3e-3, NodeWise: true, Seed: 32, Workers: workers},
+		}
+		return TrainLPCEI(cfg, enc, samples, logMax)
+	}
+	serial, parallel := mk(1), mk(4)
+	sameWeights(t, "teacher", serial.Teacher.Params.All(), parallel.Teacher.Params.All())
+	sameWeights(t, "student", serial.Model.Params.All(), parallel.Model.Params.All())
+}
+
+func TestTrainRefinerParallelDeterministic(t *testing.T) {
+	db, enc, samples, logMax := fixture(t)
+	mk := func(workers int) *Refiner {
+		base := tinyCfg(33)
+		base.Workers = workers
+		cfg := RefinerConfig{Kind: RefinerFull, Base: base, AdjustEpochs: 2, PrefixesPerSample: 2}
+		return TrainRefiner(cfg, enc, db, samples, logMax)
+	}
+	serial, parallel := mk(1), mk(4)
+	sameWeights(t, "refine", serial.Refine.Params.All(), parallel.Refine.Params.All())
+	sameWeights(t, "connect", serial.Connect.Params.All(), parallel.Connect.Params.All())
+	sameWeights(t, "card", serial.CardM.Params.All(), parallel.CardM.Params.All())
+}
+
+// TestEpochResumeIndependentOfWorkers guards the shuffle-stream bugfix: the
+// order drawn for an epoch depends only on (seed, stream, epoch, n), never on
+// how many batches or gradient evaluations preceded it, so changing Workers
+// or resuming mid-run cannot shift later epochs' shuffles.
+func TestEpochResumeIndependentOfWorkers(t *testing.T) {
+	late := EpochOrder(9, streamTrainLoop, 5, 40)
+	// Draw unrelated epochs in between — a stateful RNG would advance.
+	_ = EpochOrder(9, streamTrainLoop, 0, 40)
+	_ = EpochOrder(9, streamAdjust, 2, 40)
+	again := EpochOrder(9, streamTrainLoop, 5, 40)
+	for i := range late {
+		if late[i] != again[i] {
+			t.Fatal("epoch shuffle depends on draw history")
+		}
+	}
+}
+
+func TestGradPoolMatchesSingleWorker(t *testing.T) {
+	// The pool's reduction must not depend on worker count even at the raw
+	// GradPool level (independent of any model): accumulate per-index
+	// gradients into a single parameter and compare 1 vs 3 workers.
+	build := func(workers int) []float64 {
+		ps := nn.NewParams()
+		p := ps.NewVecParam("w", 8)
+		newWorker := func() (func(si int, weight float64), []*nn.Params) {
+			rep := nn.NewParams()
+			rp := rep.NewVecParam("w", 8)
+			run := func(si int, weight float64) {
+				for j := range rp.Grad {
+					rp.Grad[j] += weight * float64(si+1) * float64(j+1)
+				}
+			}
+			return run, []*nn.Params{rep}
+		}
+		pool := NewGradPool(workers, 8, []*nn.Params{ps}, newWorker)
+		pool.RunBatch([]int{4, 1, 7, 2}, 0.25)
+		out := make([]float64, len(p.Grad))
+		copy(out, p.Grad)
+		return out
+	}
+	a, b := build(1), build(3)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("grad[%d] = %v (1 worker) vs %v (3 workers)", j, a[j], b[j])
+		}
+	}
+}

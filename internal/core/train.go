@@ -1,8 +1,6 @@
 package core
 
 import (
-	"math/rand"
-
 	"github.com/lpce-db/lpce/internal/autodiff"
 	"github.com/lpce-db/lpce/internal/encode"
 	"github.com/lpce-db/lpce/internal/nn"
@@ -25,6 +23,11 @@ type TrainConfig struct {
 	NodeWise bool
 	ClipNorm float64
 	Seed     int64
+	// Workers fans each minibatch's per-sample forward/backward passes
+	// across this many goroutines (<= 0 runs serially). Gradients are
+	// reduced in fixed sample-index order, so the trained weights are
+	// byte-identical for every Workers value; only wall-clock time changes.
+	Workers int
 }
 
 // Defaults fills zero fields with sensible values.
@@ -113,17 +116,26 @@ func TrainTreeModelWithDim(cfg TrainConfig, inputDim int, samples []Sample, logM
 	return m
 }
 
-// trainLoop runs minibatch Adam over the samples.
+// trainLoop runs minibatch Adam over the samples, fanning each batch's
+// per-sample passes across cfg.Workers goroutines. The per-sample gradient
+// snapshots are reduced in sample-index order (see GradPool), so the
+// resulting weights do not depend on the worker count.
 func trainLoop(cfg TrainConfig, m *treenn.TreeModel, samples []Sample, feat treenn.FeatureFn) {
 	if len(samples) == 0 {
 		return
 	}
 	opt := nn.NewAdam(cfg.LR)
-	rng := rand.New(rand.NewSource(cfg.Seed + 1))
-	order := make([]int, len(samples))
-	for i := range order {
-		order[i] = i
-	}
+	pool := NewGradPool(cfg.Workers, cfg.Batch, []*nn.Params{m.Params}, func() (func(int, float64), []*nn.Params) {
+		rep := m.Replica()
+		run := func(si int, weight float64) {
+			s := samples[si]
+			t := autodiff.NewTape()
+			outs := rep.Forward(t, s.Plan, feat, nil)
+			seedQErrorGrads(t, rep, s.Plan, outs, cfg.NodeWise, weight)
+			t.BackwardFrom()
+		}
+		return run, []*nn.Params{rep.Params}
+	})
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		// step-decay schedule: halve the rate twice in the final stretch so
 		// the q-error loss settles instead of oscillating around minima
@@ -133,21 +145,13 @@ func trainLoop(cfg TrainConfig, m *treenn.TreeModel, samples []Sample, feat tree
 		case epoch == cfg.Epochs*19/20:
 			opt.LR = cfg.LR / 4
 		}
-		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		order := EpochOrder(cfg.Seed, streamTrainLoop, epoch, len(samples))
 		for b := 0; b < len(order); b += cfg.Batch {
 			end := b + cfg.Batch
 			if end > len(order) {
 				end = len(order)
 			}
-			m.Params.ZeroGrad()
-			inv := 1 / float64(end-b)
-			for _, si := range order[b:end] {
-				s := samples[si]
-				t := autodiff.NewTape()
-				outs := m.Forward(t, s.Plan, feat, nil)
-				seedQErrorGrads(t, m, s.Plan, outs, cfg.NodeWise, inv)
-				t.BackwardFrom()
-			}
+			pool.RunBatch(order[b:end], 1/float64(end-b))
 			m.Params.ClipGrad(cfg.ClipNorm)
 			opt.Step(m.Params)
 		}

@@ -18,7 +18,9 @@
 package encode
 
 import (
+	"hash/fnv"
 	"math"
+	"strconv"
 
 	"github.com/lpce-db/lpce/internal/catalog"
 	"github.com/lpce-db/lpce/internal/plan"
@@ -53,6 +55,31 @@ func (e *Encoder) Dim() int {
 // DimWithCards returns the dimension of the cardinality-augmented features
 // (two extra slots for the children's normalized log cardinalities).
 func (e *Encoder) DimWithCards() int { return e.Dim() + 2 }
+
+// Fingerprint digests everything the encoding depends on — the feature
+// dimensions plus each column's identity and the min/max statistics behind
+// operand normalization — into a 64-bit FNV-1a hash. Model artifacts store
+// it so that loading a model against a different schema (or the same schema
+// with different statistics, which silently shifts every operand feature)
+// is rejected instead of producing garbage estimates.
+func (e *Encoder) Fingerprint() uint64 {
+	h := fnv.New64a()
+	put := func(parts ...string) {
+		for _, p := range parts {
+			h.Write([]byte(p))
+			h.Write([]byte{0})
+		}
+	}
+	put(strconv.Itoa(e.Dim()), strconv.Itoa(e.DimWithCards()))
+	for _, t := range e.Schema.Tables {
+		put("t", t.Name)
+	}
+	for _, c := range e.Schema.Columns {
+		put("c", c.Name, strconv.Itoa(c.GlobalID),
+			strconv.FormatInt(c.Min, 10), strconv.FormatInt(c.Max, 10))
+	}
+	return h.Sum64()
+}
 
 // offsets within the feature vector
 func (e *Encoder) joinOff() int     { return NumFuncs }

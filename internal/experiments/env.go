@@ -16,6 +16,7 @@ import (
 	"github.com/lpce-db/lpce/internal/encode"
 	"github.com/lpce-db/lpce/internal/exec"
 	"github.com/lpce-db/lpce/internal/histogram"
+	"github.com/lpce-db/lpce/internal/modelio"
 	"github.com/lpce-db/lpce/internal/query"
 	"github.com/lpce-db/lpce/internal/storage"
 	"github.com/lpce-db/lpce/internal/treenn"
@@ -203,10 +204,45 @@ type NamedEstimator struct {
 	Est  cardest.Estimator
 }
 
+// SetupOptions customizes SetupWith beyond (scale, seed).
+type SetupOptions struct {
+	// TrainWorkers fans every SGD training loop across this many
+	// goroutines. Weights are byte-identical for every setting (see
+	// core.TrainConfig.Workers); only training wall time changes. <= 1
+	// trains serially.
+	TrainWorkers int
+	// ModelsDir, when non-empty, loads the SGD-trained models from a
+	// modelio artifact directory (written by cmd/lpce-train) instead of
+	// training them. The artifacts must have been trained against the same
+	// (scale, seed) database; the format's encoder fingerprint rejects
+	// anything else.
+	ModelsDir string
+	// TrainOnly skips the data-driven estimators and the curated test
+	// workloads; cmd/lpce-train uses it because it only needs the trained
+	// models.
+	TrainOnly bool
+}
+
 // Setup builds the complete environment: generate data, collect training
 // samples, train every model. Deterministic per (scale, seed).
 func Setup(scale Scale, seed int64) *Env {
+	// With zero options SetupWith has no failure path.
+	env, err := SetupWith(scale, seed, SetupOptions{})
+	if err != nil {
+		panic(err)
+	}
+	return env
+}
+
+// SetupWith is Setup with explicit options: parallel training, loading
+// pre-trained artifacts, or a training-only environment.
+func SetupWith(scale Scale, seed int64, opts SetupOptions) (*Env, error) {
 	p := paramsFor(scale, seed)
+	if opts.TrainWorkers > 1 {
+		p.teacher.Workers = opts.TrainWorkers
+		p.student.Workers = opts.TrainWorkers
+		p.mscn.Workers = opts.TrainWorkers
+	}
 	db := datagen.Generate(datagen.Config{Titles: p.titles, Seed: seed})
 	enc := encode.NewEncoder(db.Schema)
 	env := &Env{Scale: scale, Seed: seed, P: p, DB: db, Enc: enc, Oracle: exec.NewTrueCardOracle(db)}
@@ -214,24 +250,42 @@ func Setup(scale Scale, seed int64) *Env {
 
 	env.Histogram = histogram.NewEstimator(db)
 
-	// Training workload and sample collection (paper §7.1).
+	// Training workload and sample collection (paper §7.1). Samples are
+	// collected even when models are loaded from artifacts: LogMax, UAE
+	// calibration, and the CE-evaluation experiments all consume them.
 	gTrain := workload.NewGenerator(db, seed+1)
 	trainQs := gTrain.QueriesRange(p.trainQueries, p.trainMinJoins, p.trainMaxJoins)
 	env.Samples, env.CollectStats = core.CollectSamples(db, env.Histogram, trainQs, p.collectBudget)
 	env.LogMax = core.MaxLogCard(env.Samples)
 
 	trainStart := time.Now()
-	env.LPCEI = core.TrainLPCEI(core.LPCEIConfig{Teacher: p.teacher, Student: p.student}, enc, env.Samples, env.LogMax)
-	rcfg := p.refiner
-	rcfg.Base = p.teacher
-	env.Refiner = core.TrainRefiner(rcfg, enc, db, env.Samples, env.LogMax)
+	if opts.ModelsDir != "" {
+		set, err := modelio.LoadSet(opts.ModelsDir, enc, db)
+		if err != nil {
+			return nil, err
+		}
+		env.LPCEI = set.LPCEI
+		env.Refiner = set.Refiner
+		env.TLSTM = &core.TreeEstimator{Label: "tlstm", Model: set.TLSTM, Enc: enc}
+		env.FlowLoss = &core.TreeEstimator{Label: "flow-loss", Model: set.FlowLoss, Enc: enc}
+		env.MSCN = set.MSCN
+	} else {
+		env.LPCEI = core.TrainLPCEI(core.LPCEIConfig{Teacher: p.teacher, Student: p.student}, enc, env.Samples, env.LogMax)
+		rcfg := p.refiner
+		rcfg.Base = p.teacher
+		env.Refiner = core.TrainRefiner(rcfg, enc, db, env.Samples, env.LogMax)
 
-	tlstmCfg := p.teacher
-	tlstmCfg.Cell = treenn.CellLSTM
-	env.TLSTM = baselines.TrainTLSTM(tlstmCfg, enc, env.Samples, env.LogMax)
-	env.FlowLoss = baselines.TrainFlowLoss(p.teacher, enc, env.Samples, env.LogMax)
-	env.MSCN = baselines.TrainMSCN(p.mscn, db.Schema, env.Samples, env.LogMax)
+		tlstmCfg := p.teacher
+		tlstmCfg.Cell = treenn.CellLSTM
+		env.TLSTM = baselines.TrainTLSTM(tlstmCfg, enc, env.Samples, env.LogMax)
+		env.FlowLoss = baselines.TrainFlowLoss(p.teacher, enc, env.Samples, env.LogMax)
+		env.MSCN = baselines.TrainMSCN(p.mscn, db.Schema, env.Samples, env.LogMax)
+	}
 	env.TrainTime = time.Since(trainStart)
+
+	if opts.TrainOnly {
+		return env, nil
+	}
 
 	env.NeuroCard = &datadrivenEst{datadrivenFor(db, "neurocard", p, seed), "NeuroCard"}
 	env.DeepDB = &datadrivenEst{datadrivenFor(db, "deepdb", p, seed), "DeepDB"}
@@ -250,7 +304,20 @@ func Setup(scale Scale, seed int64) *Env {
 	env.JoinLowLabel = joinLabel(jl)
 	env.JoinHighLabel = joinLabel(jh)
 	env.JoinTinyLabel = joinLabel(jt)
-	return env
+	return env, nil
+}
+
+// ModelSet bundles the environment's SGD-trained models for modelio
+// persistence; cmd/lpce-train saves it and cmd/lpce-bench -models-in loads
+// it back.
+func (e *Env) ModelSet() *modelio.Set {
+	return &modelio.Set{
+		LPCEI:    e.LPCEI,
+		Refiner:  e.Refiner,
+		TLSTM:    e.TLSTM.Model,
+		FlowLoss: e.FlowLoss.Model,
+		MSCN:     e.MSCN,
+	}
 }
 
 // CuratedQueries generates queries with the requested join count whose

@@ -229,6 +229,9 @@ type BenchSnapshot struct {
 	Workload string                `json:"workload"`
 	Workers  int                   `json:"workers"`
 	Configs  []BenchConfigSnapshot `json:"configs"`
+	// Training is the data-parallel training benchmark (serial vs. pooled
+	// workers, bitwise weight comparison), attached when the caller runs it.
+	Training *TrainBenchResult `json:"training,omitempty"`
 }
 
 // Snapshot reduces the observability result to the perf snapshot.

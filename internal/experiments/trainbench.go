@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/core"
+	"github.com/lpce-db/lpce/internal/nn"
+)
+
+// TrainBenchResult reports the data-parallel training benchmark: the
+// teacher model trained twice on the environment's samples — serially and
+// with a worker pool — with the resulting weights compared bit for bit.
+// Determinism is asserted, speedup is measured; on boxes with fewer cores
+// than workers the speedup degrades gracefully while the weights stay
+// identical.
+type TrainBenchResult struct {
+	Cores            int     `json:"cores"`
+	Workers          int     `json:"workers"`
+	Samples          int     `json:"samples"`
+	SerialSeconds    float64 `json:"serial_seconds"`
+	ParallelSeconds  float64 `json:"parallel_seconds"`
+	Speedup          float64 `json:"speedup"`
+	WeightsIdentical bool    `json:"weights_identical"`
+	Weights          int     `json:"weights"`
+}
+
+// TrainBench trains the environment's teacher configuration with Workers=1
+// and Workers=workers (GOMAXPROCS when <= 0) and compares the trained
+// weights bitwise.
+func TrainBench(e *Env, workers int) *TrainBenchResult {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	res := &TrainBenchResult{Cores: runtime.NumCPU(), Workers: workers, Samples: len(e.Samples)}
+
+	serialCfg := e.P.teacher
+	serialCfg.Workers = 1
+	start := time.Now()
+	serial := core.TrainTreeModel(serialCfg, e.Enc, e.Samples, e.LogMax, nil)
+	res.SerialSeconds = time.Since(start).Seconds()
+
+	parCfg := e.P.teacher
+	parCfg.Workers = workers
+	start = time.Now()
+	parallel := core.TrainTreeModel(parCfg, e.Enc, e.Samples, e.LogMax, nil)
+	res.ParallelSeconds = time.Since(start).Seconds()
+
+	if res.ParallelSeconds > 0 {
+		res.Speedup = res.SerialSeconds / res.ParallelSeconds
+	}
+	res.Weights = serial.NumWeights()
+	res.WeightsIdentical = identicalWeights(serial.Params.All(), parallel.Params.All())
+	return res
+}
+
+// identicalWeights compares two parameter lists bit for bit.
+func identicalWeights(a, b []*nn.Param) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i].Val) != len(b[i].Val) {
+			return false
+		}
+		for j := range a[i].Val {
+			if a[i].Val[j] != b[i].Val[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Render formats the benchmark for terminal output.
+func (r *TrainBenchResult) Render() string {
+	t := &Table{
+		Title: fmt.Sprintf("Data-parallel training: teacher model, %d samples, %d cores",
+			r.Samples, r.Cores),
+		Header: []string{"workers", "wall", "speedup", "weights identical"},
+	}
+	t.AddRow("1", FmtDur(r.SerialSeconds), "1.00x", "-")
+	t.AddRow(fmt.Sprint(r.Workers), FmtDur(r.ParallelSeconds),
+		fmt.Sprintf("%.2fx", r.Speedup), fmt.Sprint(r.WeightsIdentical))
+	return t.String()
+}

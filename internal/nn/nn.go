@@ -76,6 +76,45 @@ func (ps *Params) register(name string, rows, cols int) *Param {
 // All returns the registered parameters in registration order.
 func (ps *Params) All() []*Param { return ps.list }
 
+// ShareWeights returns a registry whose parameters alias this registry's
+// values but own private, zeroed gradient buffers. Data-parallel training
+// workers run forward/backward on such replicas: weight reads see the
+// master's current values while gradient writes stay private to the
+// worker. Replicas carry no optimizer state and must not be passed to
+// Adam.Step; only the master registry is stepped.
+func (ps *Params) ShareWeights() *Params {
+	out := NewParams()
+	for _, p := range ps.list {
+		np := &Param{
+			Name: p.Name, Rows: p.Rows, Cols: p.Cols,
+			Val: p.Val, Grad: tensor.NewVec(len(p.Grad)),
+		}
+		out.list = append(out.list, np)
+		out.names[np.Name] = np
+	}
+	return out
+}
+
+// CopyGradTo copies every gradient into buf contiguously in registration
+// order and returns the number of scalars written. buf must hold at least
+// NumWeights() elements from off.
+func (ps *Params) CopyGradTo(buf []float64, off int) int {
+	for _, p := range ps.list {
+		off += copy(buf[off:], p.Grad)
+	}
+	return off
+}
+
+// AddGradFrom accumulates a flat gradient previously produced by
+// CopyGradTo into the registry's gradients and returns the new offset.
+func (ps *Params) AddGradFrom(buf []float64, off int) int {
+	for _, p := range ps.list {
+		p.Grad.Add(buf[off : off+len(p.Grad)])
+		off += len(p.Grad)
+	}
+	return off
+}
+
 // Get returns the parameter with the given name, or nil.
 func (ps *Params) Get(name string) *Param { return ps.names[name] }
 
@@ -189,6 +228,18 @@ func NewMLP(ps *Params, name string, dims []int, hidden, output Activation, rng 
 			NewLinear(ps, fmt.Sprintf("%s.%d", name, i), dims[i], dims[i+1], rng))
 	}
 	return m
+}
+
+// ShareWeights rebuilds the MLP over a replica registry produced by
+// Params.ShareWeights, resolving each layer's parameters by name. Training
+// workers use it to run forward/backward against shared weights with
+// private gradients.
+func (m *MLP) ShareWeights(ps *Params) *MLP {
+	out := &MLP{Hidden: m.Hidden, Output: m.Output}
+	for _, l := range m.Layers {
+		out.Layers = append(out.Layers, &Linear{W: ps.Get(l.W.Name), B: ps.Get(l.B.Name)})
+	}
+	return out
 }
 
 // Apply runs the MLP on the tape, returning the post-activation output.

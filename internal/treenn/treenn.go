@@ -171,6 +171,22 @@ func NewTreeModel(cfg Config) *TreeModel {
 	return m
 }
 
+// Replica returns a model that shares this model's weights but owns
+// private gradient buffers. Training workers forward/backward on replicas
+// concurrently: weight reads observe the master's current values (updates
+// by the optimizer between batches are visible immediately), while each
+// replica's gradients stay private until the trainer reduces them. The
+// replica must not be stepped by an optimizer.
+func (m *TreeModel) Replica() *TreeModel {
+	r := NewTreeModel(m.Cfg)
+	r.LogMax = m.LogMax
+	src, dst := m.Params.All(), r.Params.All()
+	for i := range dst {
+		dst[i].Val = src[i].Val
+	}
+	return r
+}
+
 // NodeOut holds the tape nodes produced for one plan operator.
 type NodeOut struct {
 	X     *autodiff.Node // embedded input (embed module output)
