@@ -14,10 +14,15 @@
 //   - end-to-end wall time: a regression beyond -max-regress (default +25%)
 //     fails, unless both sides are under -min-seconds (absolute slack that
 //     keeps sub-second tiny-scale runs from flapping on scheduler noise);
+//   - executor wall time (the summed T_E component), under the same rule —
+//     this is the number the vectorized batch executor exists to improve;
 //   - CE-evaluation accuracy: each estimator's sample-weighted mean q-error
 //     p50 across subset sizes, with the same relative threshold;
-//   - correctness tallies: any increase in failed queries fails outright,
-//     as does a training benchmark whose weights were not bit-identical.
+//   - correctness tallies: any increase in failed queries fails outright, as
+//     does a training benchmark whose weights were not bit-identical, an
+//     executor benchmark whose batch-path result counts differed from
+//     scalar, or a batch path that has become slower than scalar on the
+//     hash-join probe hot path (speedup below 1).
 //
 // Exit status 0 when everything holds, 1 on any regression, 2 on usage or
 // I/O errors. The report prints every comparison, not just failures, so the
@@ -91,7 +96,8 @@ func compare(w *os.File, base, cand *experiments.BenchSnapshot, maxRegress, minS
 			fmt.Fprintf(w, "config %-12s new in candidate, skipped\n", c.Name)
 			continue
 		}
-		failures += checkWall(w, c.Name, b.WallSeconds, c.WallSeconds, maxRegress, minSeconds)
+		failures += checkWall(w, c.Name, "e2e wall", b.WallSeconds, c.WallSeconds, maxRegress, minSeconds)
+		failures += checkWall(w, c.Name, "exec wall", b.ExecWallSeconds, c.ExecWallSeconds, maxRegress, minSeconds)
 		if c.Failed > b.Failed {
 			fmt.Fprintf(w, "config %-12s failed queries %d -> %d  REGRESSION\n", c.Name, b.Failed, c.Failed)
 			failures++
@@ -106,10 +112,35 @@ func compare(w *os.File, base, cand *experiments.BenchSnapshot, maxRegress, minS
 		fmt.Fprintf(w, "training: %d workers on %d cores, %.2fx speedup, weights identical: %v\n",
 			cand.Training.Workers, cand.Training.Cores, cand.Training.Speedup, cand.Training.WeightsIdentical)
 	}
+	failures += checkExec(w, cand.Exec)
 	return failures
 }
 
-func checkWall(w *os.File, name string, base, cand, maxRegress, minSeconds float64) int {
+// checkExec gates the scalar-vs-batch executor benchmark: the batch path
+// must return the same result counts as scalar and must not be slower than
+// scalar on the probe hot path. The speedup is not diffed against the
+// baseline snapshot — microbenchmark wall times are too noisy across CI
+// machines — only the invariants are enforced.
+func checkExec(w *os.File, e *experiments.ExecBenchResult) int {
+	if e == nil {
+		return 0
+	}
+	failures := 0
+	if !e.CountsIdentical {
+		fmt.Fprintf(w, "exec bench: batch result counts differ from scalar  REGRESSION\n")
+		failures++
+	}
+	status := "ok"
+	if e.Speedup < 1.0 {
+		status = "REGRESSION"
+		failures++
+	}
+	fmt.Fprintf(w, "exec bench: probe %.2fx, suite T_E %.2fx, counts identical: %v  %s\n",
+		e.Speedup, e.SuiteSpeedup, e.CountsIdentical, status)
+	return failures
+}
+
+func checkWall(w *os.File, name, label string, base, cand, maxRegress, minSeconds float64) int {
 	delta := rel(base, cand)
 	status := "ok"
 	fail := 0
@@ -123,7 +154,7 @@ func checkWall(w *os.File, name string, base, cand, maxRegress, minSeconds float
 		status = "REGRESSION"
 		fail = 1
 	}
-	fmt.Fprintf(w, "config %-12s e2e wall %8.3fs -> %8.3fs  (%+6.1f%%)  %s\n", name, base, cand, delta*100, status)
+	fmt.Fprintf(w, "config %-12s %-9s %8.3fs -> %8.3fs  (%+6.1f%%)  %s\n", name, label, base, cand, delta*100, status)
 	return fail
 }
 

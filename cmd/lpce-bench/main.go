@@ -4,10 +4,11 @@
 //
 //	lpce-bench [-scale tiny|small|full] [-seed N] [-experiment all|table1|
 //	           figure1|endtoend|refinement|ablations|figure17|figure18|
-//	           parallel|observe|trainbench] [-parallel N] [-o file]
+//	           parallel|observe|trainbench|execbench] [-parallel N] [-o file]
 //	           [-trace] [-metrics-out file] [-bench-out file]
-//	           [-timeout D] [-max-mat-rows N]
+//	           [-timeout D] [-max-mat-rows N] [-exec batch|scalar]
 //	           [-models-in dir] [-train-workers N]
+//	           [-cpuprofile file] [-memprofile file]
 //
 // The default runs every experiment at small scale and streams the rendered
 // tables to stdout. "endtoend" covers Table 2 and Figures 11–15;
@@ -39,6 +40,17 @@
 // "trainbench" (also run automatically when -bench-out is set) trains the
 // teacher model twice — serially and with -train-workers workers — asserts
 // the weights are bit-identical, and reports the speedup.
+//
+// "execbench" (also run automatically when -bench-out is set) measures the
+// vectorized batch executor against the scalar reference on a hash-join
+// probe hot path and across the JOB-like suite, asserting identical result
+// counts. -exec selects the executor for the observe experiment ("batch" is
+// the engine default; "scalar" forces the tuple-at-a-time reference path)
+// so the two can be compared under the full observability layer.
+//
+// -cpuprofile and -memprofile write pprof profiles covering the selected
+// experiment (setup excluded), for digging into executor hot spots with
+// `go tool pprof`.
 package main
 
 import (
@@ -47,6 +59,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"github.com/lpce-db/lpce/internal/experiments"
@@ -66,7 +80,14 @@ func main() {
 	maxMatRows := flag.Int64("max-mat-rows", 0, "per-query cap on materialized intermediate rows (0 = unlimited)")
 	modelsIn := flag.String("models-in", "", "load trained models from this artifact directory instead of training")
 	trainWorkers := flag.Int("train-workers", 0, "training worker goroutines (0 = serial; weights are identical for any value)")
+	execMode := flag.String("exec", "batch", "executor for the observe experiment: batch (default) or scalar")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	flag.Parse()
+	if *execMode != "batch" && *execMode != "scalar" {
+		fmt.Fprintf(os.Stderr, "unknown -exec mode %q (want batch or scalar)\n", *execMode)
+		os.Exit(1)
+	}
 	if *metricsOut != "" || *benchOut != "" {
 		*trace = true
 	}
@@ -103,10 +124,39 @@ func main() {
 	opts := obsOpts{
 		metricsOut: *metricsOut, benchOut: *benchOut, scale: *scale, seed: *seed,
 		timeout: *timeout, maxMatRows: *maxMatRows, trainWorkers: *trainWorkers,
+		scalarExec: *execMode == "scalar",
+	}
+	// Profiles cover the experiment only; the setup phase (data generation
+	// and training) would otherwise drown the executor hot spots.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
 	}
 	if err := run(env, *exp, *workers, w, opts); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 	fmt.Fprintf(w, "\ntotal wall time: %s\n", time.Since(start).Round(time.Millisecond))
 }
@@ -121,6 +171,7 @@ type obsOpts struct {
 	timeout      time.Duration
 	maxMatRows   int64
 	trainWorkers int
+	scalarExec   bool
 }
 
 func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpts) error {
@@ -176,9 +227,19 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 		fmt.Fprintln(w, r.Render())
 	case "trainbench":
 		fmt.Fprintln(w, experiments.TrainBench(env, opts.trainWorkers).Render())
+	case "execbench":
+		r, err := experiments.ExecBench(env)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+		if !r.CountsIdentical {
+			return fmt.Errorf("exec bench: batch path result counts differ from scalar")
+		}
 	case "observe":
 		r, err := experiments.ObservabilityWithOptions(env, experiments.ObsOptions{
 			Workers: workers, Timeout: opts.timeout, MaxMatRows: opts.maxMatRows,
+			ScalarExec: opts.scalarExec,
 		})
 		if err != nil {
 			return err
@@ -199,6 +260,17 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 			fmt.Fprintln(w, snap.Training.Render())
 			if !snap.Training.WeightsIdentical {
 				return fmt.Errorf("train bench: parallel weights differ from serial weights")
+			}
+			// ... and the executor benchmark, so it also watches batch-path
+			// regressions (correctness and speedup).
+			eb, err := experiments.ExecBench(env)
+			if err != nil {
+				return err
+			}
+			snap.Exec = eb
+			fmt.Fprintln(w, eb.Render())
+			if !eb.CountsIdentical {
+				return fmt.Errorf("exec bench: batch path result counts differ from scalar")
 			}
 			if err := writeJSON(opts.benchOut, snap); err != nil {
 				return err

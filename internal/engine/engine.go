@@ -54,6 +54,12 @@ type Config struct {
 	// builds. It exists for the fault-injection harness; production configs
 	// leave it nil.
 	ExecWrap exec.WrapFunc
+	// ScalarExec forces the tuple-at-a-time executor. The default (false)
+	// runs the vectorized batch executor, which produces identical results,
+	// TrueCard stamps, checkpoint sequences, and typed errors while
+	// amortizing per-tuple overheads over 1024-row batches; the scalar path
+	// remains as the reference implementation and an escape hatch.
+	ScalarExec bool
 }
 
 // Limits are the per-query resource budgets. The zero value disables every
@@ -189,7 +195,12 @@ func (e *Engine) execute(ctx context.Context, q *query.Query, cfg Config, qt *ob
 			Context: ctx, MaxMatRows: cfg.Limits.MaxMatRows, Wrap: cfg.ExecWrap,
 		}
 		execStart := time.Now()
-		count, err := exec.Run(ectx, p)
+		var count int
+		if cfg.ScalarExec {
+			count, err = exec.Run(ectx, p)
+		} else {
+			count, err = exec.RunBatch(ectx, p)
+		}
 		res.ExecTime += time.Since(execStart)
 		res.ExecWork += ectx.Work()
 		switch {

@@ -1,0 +1,306 @@
+package exec
+
+import (
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// batchSeqScan reads a base table in fixed chunks of physical rows,
+// evaluates the leaf predicates column-at-a-time into a selection vector,
+// and gathers the passing rows into the output arena. Work is charged per
+// chunk (1 per physical row examined, as in the scalar scan).
+type batchSeqScan struct {
+	node  *plan.Node
+	table *storage.Table
+	row   int
+	count int
+	sel   []int32
+	out   Batch
+}
+
+func newBatchSeqScan(ctx *Ctx, n *plan.Node) *batchSeqScan {
+	return &batchSeqScan{node: n, table: ctx.DB.Table(n.Table)}
+}
+
+func (s *batchSeqScan) Open(*Ctx) error {
+	s.row = 0
+	s.count = 0
+	return nil
+}
+
+func (s *batchSeqScan) NextBatch(ctx *Ctx) (*Batch, error) {
+	nrows := s.table.NumRows()
+	width := len(s.table.Meta.Columns)
+	for s.row < nrows {
+		lo := s.row
+		hi := lo + BatchSize
+		if hi > nrows {
+			hi = nrows
+		}
+		s.row = hi
+		if err := ctx.charge(int64(hi - lo)); err != nil {
+			return nil, err
+		}
+		s.sel = selectRange(s.sel[:0], s.table, lo, hi, s.node.Preds)
+		if len(s.sel) == 0 {
+			continue
+		}
+		s.out.reset(width)
+		gatherRows(&s.out, s.table, s.sel)
+		s.count += len(s.sel)
+		return &s.out, nil
+	}
+	s.node.TrueCard = float64(s.count)
+	return nil, nil
+}
+
+func (s *batchSeqScan) Close() {}
+
+// selectRange appends to sel the row ids in [lo, hi) that satisfy every
+// predicate: the first predicate scans the range directly, the rest refine
+// the selection vector in place.
+func selectRange(sel []int32, t *storage.Table, lo, hi int, preds []query.Predicate) []int32 {
+	if len(preds) == 0 {
+		for r := lo; r < hi; r++ {
+			sel = append(sel, int32(r))
+		}
+		return sel
+	}
+	sel = filterRange(sel, t.Cols[preds[0].Col.Pos], lo, hi, preds[0])
+	for _, p := range preds[1:] {
+		sel = filterSel(sel, t.Cols[p.Col.Pos], p)
+	}
+	return sel
+}
+
+// filterRange appends the ids in [lo, hi) whose column value satisfies p.
+// The operator switch sits outside the row loop so each case is a tight
+// branch-predictable compare loop; OpIn (set membership) falls back to the
+// predicate's own evaluator.
+func filterRange(sel []int32, col []int64, lo, hi int, p query.Predicate) []int32 {
+	switch p.Op {
+	case query.OpEQ:
+		for r := lo; r < hi; r++ {
+			if col[r] == p.Operand {
+				sel = append(sel, int32(r))
+			}
+		}
+	case query.OpNE:
+		for r := lo; r < hi; r++ {
+			if col[r] != p.Operand {
+				sel = append(sel, int32(r))
+			}
+		}
+	case query.OpLT:
+		for r := lo; r < hi; r++ {
+			if col[r] < p.Operand {
+				sel = append(sel, int32(r))
+			}
+		}
+	case query.OpLE:
+		for r := lo; r < hi; r++ {
+			if col[r] <= p.Operand {
+				sel = append(sel, int32(r))
+			}
+		}
+	case query.OpGT:
+		for r := lo; r < hi; r++ {
+			if col[r] > p.Operand {
+				sel = append(sel, int32(r))
+			}
+		}
+	case query.OpGE:
+		for r := lo; r < hi; r++ {
+			if col[r] >= p.Operand {
+				sel = append(sel, int32(r))
+			}
+		}
+	default:
+		for r := lo; r < hi; r++ {
+			if p.Eval(col[r]) {
+				sel = append(sel, int32(r))
+			}
+		}
+	}
+	return sel
+}
+
+// filterSel compacts sel in place, keeping the ids whose column value
+// satisfies p.
+func filterSel(sel []int32, col []int64, p query.Predicate) []int32 {
+	out := sel[:0]
+	switch p.Op {
+	case query.OpEQ:
+		for _, r := range sel {
+			if col[r] == p.Operand {
+				out = append(out, r)
+			}
+		}
+	case query.OpNE:
+		for _, r := range sel {
+			if col[r] != p.Operand {
+				out = append(out, r)
+			}
+		}
+	case query.OpLT:
+		for _, r := range sel {
+			if col[r] < p.Operand {
+				out = append(out, r)
+			}
+		}
+	case query.OpLE:
+		for _, r := range sel {
+			if col[r] <= p.Operand {
+				out = append(out, r)
+			}
+		}
+	case query.OpGT:
+		for _, r := range sel {
+			if col[r] > p.Operand {
+				out = append(out, r)
+			}
+		}
+	case query.OpGE:
+		for _, r := range sel {
+			if col[r] >= p.Operand {
+				out = append(out, r)
+			}
+		}
+	default:
+		for _, r := range sel {
+			if p.Eval(col[r]) {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// gatherRows copies the selected rows of a column-major table into the
+// batch arena, column by column so each source column is read sequentially.
+func gatherRows(b *Batch, t *storage.Table, sel []int32) {
+	w := b.width
+	for c := 0; c < w; c++ {
+		col := t.Cols[c]
+		d := b.data[c:]
+		for k, r := range sel {
+			d[k*w] = col[r]
+		}
+	}
+	b.n = len(sel)
+}
+
+// batchIndexScan drives the scan from the IndexPred column's index (same
+// rid resolution as the scalar indexScan, including the 16-unit descent
+// charge) and applies the remaining predicates per chunk of rids.
+type batchIndexScan struct {
+	node  *plan.Node
+	table *storage.Table
+	rids  []int32
+	rest  []query.Predicate
+	pos   int
+	count int
+	sel   []int32
+	out   Batch
+}
+
+func newBatchIndexScan(ctx *Ctx, n *plan.Node) (*batchIndexScan, error) {
+	if n.IndexPred == nil {
+		return nil, errNoIndexPred(n)
+	}
+	return &batchIndexScan{node: n, table: ctx.DB.Table(n.Table)}, nil
+}
+
+func (s *batchIndexScan) Open(ctx *Ctx) error {
+	s.pos = 0
+	s.count = 0
+	s.rest = s.rest[:0]
+	for i := range s.node.Preds {
+		if &s.node.Preds[i] != s.node.IndexPred {
+			s.rest = append(s.rest, s.node.Preds[i])
+		}
+	}
+	if err := ctx.charge(16); err != nil {
+		return err
+	}
+	rids, err := resolveIndexRids(s.table, *s.node.IndexPred, s.rids)
+	if err != nil {
+		return err
+	}
+	s.rids = rids
+	return nil
+}
+
+func (s *batchIndexScan) NextBatch(ctx *Ctx) (*Batch, error) {
+	width := len(s.table.Meta.Columns)
+	for s.pos < len(s.rids) {
+		lo := s.pos
+		hi := lo + BatchSize
+		if hi > len(s.rids) {
+			hi = len(s.rids)
+		}
+		s.pos = hi
+		if err := ctx.charge(int64(hi - lo)); err != nil {
+			return nil, err
+		}
+		s.sel = append(s.sel[:0], s.rids[lo:hi]...)
+		for _, p := range s.rest {
+			s.sel = filterSel(s.sel, s.table.Cols[p.Col.Pos], p)
+		}
+		if len(s.sel) == 0 {
+			continue
+		}
+		s.out.reset(width)
+		gatherRows(&s.out, s.table, s.sel)
+		s.count += len(s.sel)
+		return &s.out, nil
+	}
+	s.node.TrueCard = float64(s.count)
+	return nil, nil
+}
+
+func (s *batchIndexScan) Close() {}
+
+// batchMatScan replays a materialized intermediate result in chunks,
+// charging 1 per emitted row like the scalar matScan. Rows are copied into
+// the arena because Mat.Rows may be retained by the controller.
+type batchMatScan struct {
+	node  *plan.Node
+	width int
+	pos   int
+	out   Batch
+}
+
+func newBatchMatScan(ctx *Ctx, n *plan.Node) *batchMatScan {
+	return &batchMatScan{node: n, width: ctx.Layout(n.Tables).Width()}
+}
+
+func (s *batchMatScan) Open(*Ctx) error {
+	s.pos = 0
+	return nil
+}
+
+func (s *batchMatScan) NextBatch(ctx *Ctx) (*Batch, error) {
+	rows := s.node.Mat.Rows
+	if s.pos >= len(rows) {
+		s.node.TrueCard = float64(len(rows))
+		return nil, nil
+	}
+	lo := s.pos
+	hi := lo + BatchSize
+	if hi > len(rows) {
+		hi = len(rows)
+	}
+	s.pos = hi
+	if err := ctx.charge(int64(hi - lo)); err != nil {
+		return nil, err
+	}
+	s.out.reset(s.width)
+	for _, row := range rows[lo:hi] {
+		copy(s.out.pushRow(), row)
+	}
+	return &s.out, nil
+}
+
+func (s *batchMatScan) Close() {}

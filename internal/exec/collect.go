@@ -65,11 +65,11 @@ func collectScan(ctx *Ctx, n *plan.Node) ([][]int64, error) {
 }
 
 func collectJoin(ctx *Ctx, n *plan.Node, left, right [][]int64) ([][]int64, error) {
-	conds, err := resolveConds(ctx.Q, n.JoinConds, n.Left.Tables, n.Right.Tables)
+	conds, err := resolveConds(ctx, n.JoinConds, n.Left.Tables, n.Right.Tables)
 	if err != nil {
 		return nil, err
 	}
-	merge := newJoinMerge(ctx.Q, n.Left.Tables, n.Right.Tables)
+	merge := newJoinMerge(ctx, n.Left.Tables, n.Right.Tables)
 
 	// build on the smaller side for speed; swap offsets if we build left
 	build, probe := right, left
@@ -184,7 +184,7 @@ func (o *TrueCardOracle) TryEstimate(q *query.Query, mask query.BitSet) (float64
 	// duplicates write the same value
 	node := CanonicalPlan(q, mask)
 	ctx := &Ctx{DB: o.DB, Q: q, Budget: o.Budget}
-	count, err := Run(ctx, node)
+	count, err := RunBatch(ctx, node)
 	if err != nil {
 		return 0, err
 	}

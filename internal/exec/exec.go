@@ -117,6 +117,26 @@ type Ctx struct {
 	work       int64
 	matRows    int64
 	nextPoll   int64
+	// layouts memoizes plan.NewLayout per table subset: every join node
+	// resolves left/right/output layouts, and without the cache plan
+	// construction recomputes the same layouts once per node per helper
+	// (O(nodes × layout width)). A Ctx belongs to one execution of one
+	// query on one goroutine, so no lock is needed.
+	layouts map[query.BitSet]*plan.Layout
+}
+
+// Layout returns the memoized tuple layout for the subset mask of the
+// context's query.
+func (c *Ctx) Layout(mask query.BitSet) *plan.Layout {
+	if l, ok := c.layouts[mask]; ok {
+		return l
+	}
+	if c.layouts == nil {
+		c.layouts = make(map[query.BitSet]*plan.Layout, 8)
+	}
+	l := plan.NewLayout(c.Q, mask)
+	c.layouts[mask] = l
+	return l
 }
 
 // charge consumes n work units, failing when the budget is exhausted or the
@@ -141,6 +161,19 @@ func (c *Ctx) chargeMat() error {
 	if c.MaxMatRows > 0 && c.matRows > c.MaxMatRows {
 		return &ResourceError{Resource: "materialized-rows", Limit: c.MaxMatRows, Used: c.matRows}
 	}
+	return nil
+}
+
+// chargeMatN accounts n materialized rows at once — the batch path's
+// counterpart of chargeMat. When the lump would cross the limit it stops at
+// the first exceeding row, so the counter and the *ResourceError payload are
+// identical to n scalar chargeMat calls.
+func (c *Ctx) chargeMatN(n int64) error {
+	if c.MaxMatRows > 0 && c.matRows+n > c.MaxMatRows {
+		c.matRows = c.MaxMatRows + 1
+		return &ResourceError{Resource: "materialized-rows", Limit: c.MaxMatRows, Used: c.matRows}
+	}
+	c.matRows += n
 	return nil
 }
 
@@ -274,10 +307,11 @@ type mergeSeg struct {
 	n        int
 }
 
-func newJoinMerge(q *query.Query, left, right query.BitSet) joinMerge {
-	leftLayout := plan.NewLayout(q, left)
-	rightLayout := plan.NewLayout(q, right)
-	out := plan.NewLayout(q, left.Union(right))
+func newJoinMerge(ctx *Ctx, left, right query.BitSet) joinMerge {
+	q := ctx.Q
+	leftLayout := ctx.Layout(left)
+	rightLayout := ctx.Layout(right)
+	out := ctx.Layout(left.Union(right))
 	var m joinMerge
 	m.width = out.Width()
 	for _, i := range left.Union(right).Indices() {
@@ -296,6 +330,14 @@ func (m joinMerge) merge(dst, l, r Tuple) Tuple {
 		dst = make(Tuple, m.width)
 	}
 	dst = dst[:m.width]
+	m.mergeFlat(dst, l, r)
+	return dst
+}
+
+// mergeFlat stitches l and r into dst, which must already have the output
+// width — the allocation-free variant the batch operators use to write
+// straight into a batch arena.
+func (m joinMerge) mergeFlat(dst, l, r []int64) {
 	for _, s := range m.segs {
 		src := r
 		if s.fromLeft {
@@ -303,7 +345,6 @@ func (m joinMerge) merge(dst, l, r Tuple) Tuple {
 		}
 		copy(dst[s.dstOff:s.dstOff+s.n], src[s.srcOff:s.srcOff+s.n])
 	}
-	return dst
 }
 
 // condOffsets resolves a join condition's column offsets relative to the
@@ -312,9 +353,10 @@ type condOffsets struct {
 	leftOff, rightOff int
 }
 
-func resolveConds(q *query.Query, conds []query.Join, left, right query.BitSet) ([]condOffsets, error) {
-	leftLayout := plan.NewLayout(q, left)
-	rightLayout := plan.NewLayout(q, right)
+func resolveConds(ctx *Ctx, conds []query.Join, left, right query.BitSet) ([]condOffsets, error) {
+	q := ctx.Q
+	leftLayout := ctx.Layout(left)
+	rightLayout := ctx.Layout(right)
 	out := make([]condOffsets, len(conds))
 	for i, c := range conds {
 		li, ri := q.TableIndex(c.Left.Table), q.TableIndex(c.Right.Table)
@@ -339,4 +381,72 @@ func hashKey(vals []int64) uint64 {
 		h *= 1099511628211
 	}
 	return h
+}
+
+// hashRowConds hashes a tuple's join-key columns in place — bit-identical
+// to hashKey over the gathered key, without materializing it.
+func hashRowConds(row []int64, conds []condOffsets, left bool) uint64 {
+	var h uint64 = 14695981039346656037
+	for _, c := range conds {
+		off := c.rightOff
+		if left {
+			off = c.leftOff
+		}
+		h ^= uint64(row[off])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// condsEqual reports whether a left and a right tuple agree on every join
+// condition.
+func condsEqual(conds []condOffsets, l, r []int64) bool {
+	for _, c := range conds {
+		if l[c.leftOff] != r[c.rightOff] {
+			return false
+		}
+	}
+	return true
+}
+
+// condsLess orders tuples of one side by their join-key columns.
+func condsLess(conds []condOffsets, a, b Tuple, left bool) bool {
+	for _, c := range conds {
+		off := c.rightOff
+		if left {
+			off = c.leftOff
+		}
+		if a[off] != b[off] {
+			return a[off] < b[off]
+		}
+	}
+	return false
+}
+
+// condsCompare compares a left tuple's key with a right tuple's key.
+func condsCompare(conds []condOffsets, l, r Tuple) int {
+	for _, c := range conds {
+		lv, rv := l[c.leftOff], r[c.rightOff]
+		if lv < rv {
+			return -1
+		}
+		if lv > rv {
+			return 1
+		}
+	}
+	return 0
+}
+
+// condsSameKey reports whether two tuples of the same side share a join key.
+func condsSameKey(conds []condOffsets, a, b Tuple, left bool) bool {
+	for _, c := range conds {
+		off := c.rightOff
+		if left {
+			off = c.leftOff
+		}
+		if a[off] != b[off] {
+			return false
+		}
+	}
+	return true
 }

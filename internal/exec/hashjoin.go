@@ -15,6 +15,11 @@ type hashJoin struct {
 
 	table map[uint64][][]int64 // build rows grouped by key hash
 
+	// key is a scratch buffer for gathering join-key values; allocated once
+	// at construction so neither Open (build side) nor Next (probe side)
+	// allocates per tuple.
+	key []int64
+
 	// probe state
 	cur     Tuple // current left tuple
 	matches [][]int64
@@ -32,14 +37,15 @@ func newHashJoin(ctx *Ctx, n *plan.Node) (*hashJoin, error) {
 	if err != nil {
 		return nil, err
 	}
-	conds, err := resolveConds(ctx.Q, n.JoinConds, n.Left.Tables, n.Right.Tables)
+	conds, err := resolveConds(ctx, n.JoinConds, n.Left.Tables, n.Right.Tables)
 	if err != nil {
 		return nil, err
 	}
 	return &hashJoin{
 		node: n, left: l, right: r,
 		conds: conds,
-		merge: newJoinMerge(ctx.Q, n.Left.Tables, n.Right.Tables),
+		merge: newJoinMerge(ctx, n.Left.Tables, n.Right.Tables),
+		key:   make([]int64, len(conds)),
 	}, nil
 }
 
@@ -50,12 +56,11 @@ func (h *hashJoin) Open(ctx *Ctx) error {
 		return err
 	}
 	h.table = make(map[uint64][][]int64, len(rows))
-	key := make([]int64, len(h.conds))
 	for _, row := range rows {
 		for i, c := range h.conds {
-			key[i] = row[c.rightOff]
+			h.key[i] = row[c.rightOff]
 		}
-		k := hashKey(key)
+		k := hashKey(h.key)
 		h.table[k] = append(h.table[k], row)
 		if err := ctx.charge(1); err != nil {
 			return err
@@ -77,7 +82,6 @@ func (h *hashJoin) Open(ctx *Ctx) error {
 }
 
 func (h *hashJoin) Next(ctx *Ctx) (Tuple, bool, error) {
-	key := make([]int64, len(h.conds))
 	for {
 		// emit remaining matches for the current probe tuple
 		for h.mi < len(h.matches) {
@@ -107,9 +111,9 @@ func (h *hashJoin) Next(ctx *Ctx) (Tuple, bool, error) {
 		}
 		h.cur = t
 		for i, c := range h.conds {
-			key[i] = t[c.leftOff]
+			h.key[i] = t[c.leftOff]
 		}
-		h.matches = h.table[hashKey(key)]
+		h.matches = h.table[hashKey(h.key)]
 		h.mi = 0
 	}
 }

@@ -37,14 +37,14 @@ func newMergeJoin(ctx *Ctx, n *plan.Node) (*mergeJoin, error) {
 	if err != nil {
 		return nil, err
 	}
-	conds, err := resolveConds(ctx.Q, n.JoinConds, n.Left.Tables, n.Right.Tables)
+	conds, err := resolveConds(ctx, n.JoinConds, n.Left.Tables, n.Right.Tables)
 	if err != nil {
 		return nil, err
 	}
 	return &mergeJoin{
 		node: n, left: l, right: r,
 		conds: conds,
-		merge: newJoinMerge(ctx.Q, n.Left.Tables, n.Right.Tables),
+		merge: newJoinMerge(ctx, n.Left.Tables, n.Right.Tables),
 	}, nil
 }
 
@@ -97,30 +97,12 @@ func sortCost(n int) int64 {
 }
 
 func (m *mergeJoin) less(a, b Tuple, left bool) bool {
-	for _, c := range m.conds {
-		off := c.rightOff
-		if left {
-			off = c.leftOff
-		}
-		if a[off] != b[off] {
-			return a[off] < b[off]
-		}
-	}
-	return false
+	return condsLess(m.conds, a, b, left)
 }
 
 // cmpKeys compares a left tuple's key with a right tuple's key.
 func (m *mergeJoin) cmpKeys(l, r Tuple) int {
-	for _, c := range m.conds {
-		lv, rv := l[c.leftOff], r[c.rightOff]
-		if lv < rv {
-			return -1
-		}
-		if lv > rv {
-			return 1
-		}
-	}
-	return 0
+	return condsCompare(m.conds, l, r)
 }
 
 func (m *mergeJoin) Next(ctx *Ctx) (Tuple, bool, error) {
@@ -171,16 +153,7 @@ func (m *mergeJoin) Next(ctx *Ctx) (Tuple, bool, error) {
 }
 
 func (m *mergeJoin) sameKeySide(a, b Tuple, left bool) bool {
-	for _, c := range m.conds {
-		off := c.rightOff
-		if left {
-			off = c.leftOff
-		}
-		if a[off] != b[off] {
-			return false
-		}
-	}
-	return true
+	return condsSameKey(m.conds, a, b, left)
 }
 
 func (m *mergeJoin) Close() {

@@ -49,14 +49,14 @@ func newNLJoin(ctx *Ctx, n *plan.Node) (*nlJoin, error) {
 	if err != nil {
 		return nil, err
 	}
-	conds, err := resolveConds(ctx.Q, n.JoinConds, n.Left.Tables, n.Right.Tables)
+	conds, err := resolveConds(ctx, n.JoinConds, n.Left.Tables, n.Right.Tables)
 	if err != nil {
 		return nil, err
 	}
 	j := &nlJoin{
 		node: n, left: l,
 		conds: conds,
-		merge: newJoinMerge(ctx.Q, n.Left.Tables, n.Right.Tables),
+		merge: newJoinMerge(ctx, n.Left.Tables, n.Right.Tables),
 	}
 	// Index path: inner is a base-table leaf and some equi-join condition
 	// lands on one of its columns.

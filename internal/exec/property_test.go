@@ -45,7 +45,7 @@ func TestJoinMergeLayoutProperty(t *testing.T) {
 		for i := range rt {
 			rt[i] = rng.Int63n(1000) + 10000
 		}
-		m := newJoinMerge(q, left, right)
+		m := newJoinMerge(&Ctx{Q: q}, left, right)
 		out := m.merge(nil, lt, rt)
 		if len(out) != outLayout.Width() {
 			return false

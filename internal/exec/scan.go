@@ -76,16 +76,46 @@ type indexScan struct {
 
 func newIndexScan(ctx *Ctx, n *plan.Node) (*indexScan, error) {
 	if n.IndexPred == nil {
-		return nil, fmt.Errorf("exec: IndexScan on %s without an index predicate", n.Table.Name)
+		return nil, errNoIndexPred(n)
 	}
 	return &indexScan{node: n, table: ctx.DB.Table(n.Table)}, nil
+}
+
+func errNoIndexPred(n *plan.Node) error {
+	return fmt.Errorf("exec: IndexScan on %s without an index predicate", n.Table.Name)
+}
+
+// resolveIndexRids resolves the row ids matching an index predicate. The
+// prev slice is reused for the OpIn gather; the other cases return
+// index-owned slices which callers must treat as read-only.
+func resolveIndexRids(t *storage.Table, p query.Predicate, prev []int32) ([]int32, error) {
+	switch p.Op {
+	case query.OpEQ:
+		return t.HashIndex(p.Col.Pos).Lookup(p.Operand), nil
+	case query.OpIn:
+		ix := t.HashIndex(p.Col.Pos)
+		rids := prev[:0]
+		for _, v := range p.InSet {
+			rids = append(rids, ix.Lookup(v)...)
+		}
+		return rids, nil
+	case query.OpLT:
+		return t.OrderedIndex(p.Col.Pos).Range(minInt64, p.Operand-1), nil
+	case query.OpLE:
+		return t.OrderedIndex(p.Col.Pos).Range(minInt64, p.Operand), nil
+	case query.OpGT:
+		return t.OrderedIndex(p.Col.Pos).Range(p.Operand+1, maxInt64), nil
+	case query.OpGE:
+		return t.OrderedIndex(p.Col.Pos).Range(p.Operand, maxInt64), nil
+	default:
+		return nil, fmt.Errorf("exec: operator %v cannot drive an index scan", p.Op)
+	}
 }
 
 func (s *indexScan) Open(ctx *Ctx) error {
 	s.pos = 0
 	s.count = 0
 	s.buf = make(Tuple, len(s.table.Meta.Columns))
-	p := *s.node.IndexPred
 	s.rest = s.rest[:0]
 	for i := range s.node.Preds {
 		if &s.node.Preds[i] != s.node.IndexPred {
@@ -96,26 +126,11 @@ func (s *indexScan) Open(ctx *Ctx) error {
 	if err := ctx.charge(16); err != nil {
 		return err
 	}
-	switch p.Op {
-	case query.OpEQ:
-		s.rids = s.table.HashIndex(p.Col.Pos).Lookup(p.Operand)
-	case query.OpIn:
-		ix := s.table.HashIndex(p.Col.Pos)
-		s.rids = s.rids[:0]
-		for _, v := range p.InSet {
-			s.rids = append(s.rids, ix.Lookup(v)...)
-		}
-	case query.OpLT:
-		s.rids = s.table.OrderedIndex(p.Col.Pos).Range(minInt64, p.Operand-1)
-	case query.OpLE:
-		s.rids = s.table.OrderedIndex(p.Col.Pos).Range(minInt64, p.Operand)
-	case query.OpGT:
-		s.rids = s.table.OrderedIndex(p.Col.Pos).Range(p.Operand+1, maxInt64)
-	case query.OpGE:
-		s.rids = s.table.OrderedIndex(p.Col.Pos).Range(p.Operand, maxInt64)
-	default:
-		return fmt.Errorf("exec: operator %v cannot drive an index scan", p.Op)
+	rids, err := resolveIndexRids(s.table, *s.node.IndexPred, s.rids)
+	if err != nil {
+		return err
 	}
+	s.rids = rids
 	return nil
 }
 

@@ -75,3 +75,66 @@ func (t *tracedOp) Close() {
 	}
 	t.inner.Close()
 }
+
+// tracedBatchOp is tracedOp's batch-path twin: BuildBatch installs it
+// around every batch operator when ctx.Trace is set. Per-call bookkeeping
+// happens once per batch instead of once per tuple, and the flushed stats
+// additionally record how many batches the operator produced.
+type tracedBatchOp struct {
+	inner BatchOperator
+	node  *plan.Node
+	tr    *obs.ExecTrace
+
+	start     time.Time
+	wall      time.Duration
+	rows      int64
+	batches   int64
+	exhausted bool
+	flushed   bool
+}
+
+func (t *tracedBatchOp) Open(ctx *Ctx) error {
+	t.start = time.Now()
+	t.wall = 0
+	t.rows = 0
+	t.batches = 0
+	t.exhausted = false
+	t.flushed = false
+	return t.inner.Open(ctx)
+}
+
+func (t *tracedBatchOp) NextBatch(ctx *Ctx) (*Batch, error) {
+	b, err := t.inner.NextBatch(ctx)
+	if b != nil {
+		t.rows += int64(b.n)
+		t.batches++
+	} else if err == nil && !t.exhausted {
+		t.exhausted = true
+		t.wall = time.Since(t.start)
+	}
+	return b, err
+}
+
+func (t *tracedBatchOp) Close() {
+	if !t.flushed && !t.start.IsZero() {
+		t.flushed = true
+		wall := t.wall
+		if !t.exhausted {
+			wall = time.Since(t.start)
+		}
+		actual := float64(-1)
+		if t.exhausted {
+			actual = float64(t.rows)
+		}
+		t.tr.AddOp(obs.OpStats{
+			Op:         t.node.Op.String(),
+			Mask:       t.node.Tables,
+			EstRows:    t.node.EstCard,
+			ActualRows: actual,
+			Rows:       t.rows,
+			Batches:    t.batches,
+			Wall:       wall,
+		})
+	}
+	t.inner.Close()
+}

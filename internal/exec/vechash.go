@@ -1,0 +1,75 @@
+package exec
+
+// vecTable is the batch hash join's open-addressing build table: a
+// power-of-two array of (hash, chain-head) slots probed linearly on the
+// full 64-bit key hash, with per-row chain links into the flat build arena.
+// It replaces the scalar path's map[uint64][][]int64 — no per-bucket slice
+// headers, no map overhead, and probes touch at most two contiguous arrays.
+//
+// Rows with equal full hashes (equal keys or rare 64-bit collisions) share
+// one slot and are chained in build insertion order, so a probe visits
+// exactly the candidates the scalar map bucket holds, in the same order —
+// keeping output row order and per-candidate work charges identical.
+type vecTable struct {
+	mask   uint64
+	hashes []uint64
+	heads  []int32 // first build row per occupied slot, -1 when empty
+	next   []int32 // per build row: next row with the same hash, -1 at end
+}
+
+// newVecTable sizes the table for nrows build rows at ≤50% load.
+func newVecTable(nrows int) *vecTable {
+	n := 2
+	for n < 2*nrows {
+		n <<= 1
+	}
+	v := &vecTable{
+		mask:   uint64(n - 1),
+		hashes: make([]uint64, n),
+		heads:  make([]int32, n),
+		next:   make([]int32, nrows),
+	}
+	for i := range v.heads {
+		v.heads[i] = -1
+	}
+	return v
+}
+
+// insert links build row r under hash h. tails is caller-provided scratch
+// (len == len(heads)) tracking each slot's chain tail so insertion order is
+// preserved without walking the chain.
+func (v *vecTable) insert(r int32, h uint64, tails []int32) {
+	i := h & v.mask
+	for {
+		if v.heads[i] == -1 {
+			v.heads[i] = r
+			v.hashes[i] = h
+			tails[i] = r
+			v.next[r] = -1
+			return
+		}
+		if v.hashes[i] == h {
+			v.next[tails[i]] = r
+			v.next[r] = -1
+			tails[i] = r
+			return
+		}
+		i = (i + 1) & v.mask
+	}
+}
+
+// lookup returns the first build row whose hash equals h, or -1; the caller
+// follows next[] for the rest of the chain.
+func (v *vecTable) lookup(h uint64) int32 {
+	i := h & v.mask
+	for {
+		r := v.heads[i]
+		if r == -1 {
+			return -1
+		}
+		if v.hashes[i] == h {
+			return r
+		}
+		i = (i + 1) & v.mask
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+	"github.com/lpce-db/lpce/internal/engine"
+	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/joblike"
+	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// ExecBenchResult is the scalar-vs-batch executor benchmark recorded in
+// BENCH_e2e.json. Two measurements: a synthetic hash-join probe hot path
+// (the workload the vectorized executor targets — per-tuple interface
+// calls, per-tuple hashing, Go-map probes), and the environment's JOB-like
+// suite executed end to end on both paths with the counts compared.
+type ExecBenchResult struct {
+	// Hot path: probe ProbeRows rows against a build side of BuildRows.
+	BuildRows          int     `json:"build_rows"`
+	ProbeRows          int     `json:"probe_rows"`
+	ScalarProbeSeconds float64 `json:"scalar_probe_seconds"`
+	BatchProbeSeconds  float64 `json:"batch_probe_seconds"`
+	// Speedup is scalar/batch time on the probe hot path; the bench gate
+	// fails when it drops below 1 (batch slower than scalar).
+	Speedup float64 `json:"speedup"`
+
+	// Suite: executor wall (T_E only) across the JOB-like queries.
+	SuiteQueries       int     `json:"suite_queries"`
+	SuiteScalarSeconds float64 `json:"suite_scalar_exec_seconds"`
+	SuiteBatchSeconds  float64 `json:"suite_batch_exec_seconds"`
+	SuiteSpeedup       float64 `json:"suite_speedup"`
+	// CountsIdentical asserts both paths returned the same COUNT(*) for
+	// every suite query.
+	CountsIdentical bool `json:"counts_identical"`
+}
+
+// execBenchDB builds the synthetic probe workload: a build table of
+// distinct keys and a probe table hitting them round-robin.
+func execBenchDB(buildRows, probeRows int) (*storage.Database, *query.Query) {
+	s := catalog.NewSchema()
+	b := s.AddTable("bench_build", catalog.PK("id"), catalog.Attr("pad"))
+	p := s.AddTable("bench_probe", catalog.FK("bid", b.Column("id")), catalog.Attr("f"))
+
+	db := storage.NewDatabase(s)
+	bt := storage.NewTable(b, buildRows)
+	for i := 0; i < buildRows; i++ {
+		bt.ColByName("id")[i] = int64(i)
+		bt.ColByName("pad")[i] = int64(i * 3)
+	}
+	db.Tables[b.ID] = bt
+	pt := storage.NewTable(p, probeRows)
+	for i := 0; i < probeRows; i++ {
+		pt.ColByName("bid")[i] = int64(i % buildRows)
+		pt.ColByName("f")[i] = int64(i % 100)
+	}
+	db.Tables[p.ID] = pt
+	bt.FinishLoad()
+	pt.FinishLoad()
+
+	q := query.New([]*catalog.Table{b, p},
+		[]query.Join{{Left: p.Column("bid"), Right: b.Column("id")}}, nil)
+	return db, q
+}
+
+// ExecBench measures the batch executor against the scalar reference. The
+// hot-path numbers are best-of-reps to shed scheduler noise; the suite
+// numbers are single-pass sums of executor wall time under the PostgreSQL
+// (histogram) configuration.
+func ExecBench(e *Env) (*ExecBenchResult, error) {
+	const buildRows, probeRows, reps = 4096, 1 << 16, 5
+	res := &ExecBenchResult{BuildRows: buildRows, ProbeRows: probeRows, CountsIdentical: true}
+
+	db, q := execBenchDB(buildRows, probeRows)
+	best := func(batch bool) (float64, int, error) {
+		bestSec := 0.0
+		count := 0
+		for r := 0; r < reps; r++ {
+			pl := planOnly(q)
+			ctx := &exec.Ctx{DB: db, Q: q}
+			start := time.Now()
+			var c int
+			var err error
+			if batch {
+				c, err = exec.RunBatch(ctx, pl)
+			} else {
+				c, err = exec.Run(ctx, pl)
+			}
+			sec := time.Since(start).Seconds()
+			if err != nil {
+				return 0, 0, err
+			}
+			if bestSec == 0 || sec < bestSec {
+				bestSec = sec
+			}
+			count = c
+		}
+		return bestSec, count, nil
+	}
+	scalarSec, scalarCount, err := best(false)
+	if err != nil {
+		return nil, err
+	}
+	batchSec, batchCount, err := best(true)
+	if err != nil {
+		return nil, err
+	}
+	if scalarCount != batchCount {
+		res.CountsIdentical = false
+	}
+	res.ScalarProbeSeconds = scalarSec
+	res.BatchProbeSeconds = batchSec
+	if batchSec > 0 {
+		res.Speedup = scalarSec / batchSec
+	}
+
+	// Suite comparison: the JOB-like queries end to end, summing executor
+	// wall only, with the result counts cross-checked.
+	queries, err := joblike.Queries(e.DB.Schema)
+	if err != nil {
+		return nil, err
+	}
+	eng := engine.New(e.DB)
+	cfg := engine.Config{Estimator: e.Histogram, Budget: e.P.budget}
+	counts := make(map[string]int)
+	for _, scalar := range []bool{true, false} {
+		c := cfg
+		c.ScalarExec = scalar
+		var wall time.Duration
+		for _, name := range joblike.Names() {
+			r, err := eng.Execute(queries[name], c)
+			if err != nil {
+				return nil, fmt.Errorf("execbench %s: %w", name, err)
+			}
+			wall += r.ExecTime
+			if scalar {
+				counts[name] = r.Count
+			} else if counts[name] != r.Count {
+				res.CountsIdentical = false
+			}
+		}
+		if scalar {
+			res.SuiteScalarSeconds = wall.Seconds()
+		} else {
+			res.SuiteBatchSeconds = wall.Seconds()
+		}
+	}
+	res.SuiteQueries = len(joblike.Names())
+	if res.SuiteBatchSeconds > 0 {
+		res.SuiteSpeedup = res.SuiteScalarSeconds / res.SuiteBatchSeconds
+	}
+	return res, nil
+}
+
+// planOnly rebuilds the probe-outer hash-join plan for one measurement run
+// (plans carry TrueCard stamps, so each run gets a fresh tree).
+func planOnly(q *query.Query) *plan.Node {
+	probe := plan.NewLeaf(plan.SeqScan, q.Tables[1], 1, nil)
+	build := plan.NewLeaf(plan.SeqScan, q.Tables[0], 0, nil)
+	return plan.NewJoin(plan.HashJoin, probe, build, q.Joins)
+}
+
+// Render formats the benchmark for terminal output.
+func (r *ExecBenchResult) Render() string {
+	t := &Table{
+		Title: fmt.Sprintf("Executor: scalar vs batch (probe %d rows x build %d, counts identical: %v)",
+			r.ProbeRows, r.BuildRows, r.CountsIdentical),
+		Header: []string{"workload", "scalar", "batch", "speedup"},
+	}
+	t.AddRow("hash-join probe", FmtDur(r.ScalarProbeSeconds), FmtDur(r.BatchProbeSeconds),
+		fmt.Sprintf("%.2fx", r.Speedup))
+	t.AddRow(fmt.Sprintf("JOB-like suite T_E (%d queries)", r.SuiteQueries),
+		FmtDur(r.SuiteScalarSeconds), FmtDur(r.SuiteBatchSeconds),
+		fmt.Sprintf("%.2fx", r.SuiteSpeedup))
+	return t.String()
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"github.com/lpce-db/lpce/internal/cardest"
@@ -23,6 +24,10 @@ import (
 type ObsRun struct {
 	Name string        `json:"name"`
 	Wall time.Duration `json:"wall_ns"`
+	// ExecWall is the sum of per-query executor wall time (T_E) across the
+	// run — the component the vectorized batch executor targets; Wall also
+	// includes planning, inference, and pool scheduling.
+	ExecWall time.Duration `json:"exec_wall_ns"`
 	// Degraded counts queries that hit a configured budget — a resource
 	// limit or per-query deadline — and were failed individually with a
 	// typed error. Failed counts everything else that went wrong.
@@ -61,6 +66,9 @@ type ObsOptions struct {
 	// attempt; an exceeded query fails with *exec.ResourceError and is
 	// counted as degraded.
 	MaxMatRows int64
+	// ScalarExec forces the tuple-at-a-time executor instead of the default
+	// vectorized batch path (see engine.Config.ScalarExec).
+	ScalarExec bool
 }
 
 // Observability executes the JOB-like named suite under the PostgreSQL,
@@ -105,6 +113,8 @@ func ObservabilityWithOptions(e *Env, opt ObsOptions) (*ObsResult, error) {
 		cfg.Obs = o
 		cfg.Estimator = cardest.NewCacheWithMetrics(cfg.Estimator, o.Registry())
 		cfg.Limits.MaxMatRows = opt.MaxMatRows
+		cfg.ScalarExec = opt.ScalarExec
+		var execWall atomic.Int64 // summed T_E nanos across workers
 		start := time.Now()
 		errs := workload.RunEach(context.Background(), len(wl), workers, func(i int) error {
 			ctx := context.Background()
@@ -113,12 +123,15 @@ func ObservabilityWithOptions(e *Env, opt ObsOptions) (*ObsResult, error) {
 				ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
 				defer cancel()
 			}
-			if _, err := eng.ExecuteContext(ctx, wl[i], cfg); err != nil {
+			qres, err := eng.ExecuteContext(ctx, wl[i], cfg)
+			execWall.Add(int64(qres.ExecTime))
+			if err != nil {
 				return fmt.Errorf("%s: %w", joblike.Names()[i], err)
 			}
 			return nil
 		})
-		run := ObsRun{Name: rc.Name, Wall: time.Since(start), Report: o.Report()}
+		run := ObsRun{Name: rc.Name, Wall: time.Since(start),
+			ExecWall: time.Duration(execWall.Load()), Report: o.Report()}
 		for _, err := range errs {
 			switch {
 			case err == nil:
@@ -149,7 +162,7 @@ func (r *ObsResult) Render() string {
 	var b strings.Builder
 	sum := &Table{
 		Title:  fmt.Sprintf("Observability: %s, %d workers", r.Label, r.Workers),
-		Header: []string{"config", "queries", "timeouts", "degraded", "failed", "reopts", "wall", "q/s", "cache hit%"},
+		Header: []string{"config", "queries", "timeouts", "degraded", "failed", "reopts", "wall", "exec wall", "q/s", "cache hit%"},
 	}
 	for _, run := range r.Runs {
 		rep := run.Report
@@ -161,7 +174,8 @@ func (r *ObsResult) Render() string {
 		}
 		sum.AddRow(run.Name, fmt.Sprint(rep.Queries), fmt.Sprint(rep.Timeouts),
 			fmt.Sprint(run.Degraded), fmt.Sprint(run.Failed), fmt.Sprint(rep.Reopts),
-			run.Wall.Round(time.Millisecond).String(), FmtF(run.QPS()), FmtPct(hitRate))
+			run.Wall.Round(time.Millisecond).String(),
+			run.ExecWall.Round(time.Millisecond).String(), FmtF(run.QPS()), FmtPct(hitRate))
 	}
 	b.WriteString(sum.String())
 
@@ -208,16 +222,19 @@ func (r *ObsResult) Render() string {
 
 // BenchConfigSnapshot is one configuration's entry in the perf snapshot.
 type BenchConfigSnapshot struct {
-	Name        string                  `json:"name"`
-	Queries     int                     `json:"queries"`
-	Timeouts    int                     `json:"timeouts"`
-	Degraded    int                     `json:"degraded"`
-	Failed      int                     `json:"failed"`
-	Reopts      int                     `json:"reopts"`
-	WallSeconds float64                 `json:"wall_seconds"`
-	QPS         float64                 `json:"qps"`
-	Phases      []obs.PhaseSummary      `json:"phases"`
-	CE          []obs.CEEstimatorReport `json:"ce_evaluation,omitempty"`
+	Name        string  `json:"name"`
+	Queries     int     `json:"queries"`
+	Timeouts    int     `json:"timeouts"`
+	Degraded    int     `json:"degraded"`
+	Failed      int     `json:"failed"`
+	Reopts      int     `json:"reopts"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// ExecWallSeconds is the summed executor wall time (T_E) — the
+	// component gated by cmd/benchdiff against batch-executor regressions.
+	ExecWallSeconds float64                 `json:"exec_wall_seconds"`
+	QPS             float64                 `json:"qps"`
+	Phases          []obs.PhaseSummary      `json:"phases"`
+	CE              []obs.CEEstimatorReport `json:"ce_evaluation,omitempty"`
 }
 
 // BenchSnapshot is the machine-readable perf snapshot written as
@@ -232,6 +249,9 @@ type BenchSnapshot struct {
 	// Training is the data-parallel training benchmark (serial vs. pooled
 	// workers, bitwise weight comparison), attached when the caller runs it.
 	Training *TrainBenchResult `json:"training,omitempty"`
+	// Exec is the scalar-vs-batch executor benchmark, attached when the
+	// caller runs it.
+	Exec *ExecBenchResult `json:"exec_bench,omitempty"`
 }
 
 // Snapshot reduces the observability result to the perf snapshot.
@@ -242,8 +262,8 @@ func (r *ObsResult) Snapshot(scale string, seed int64) BenchSnapshot {
 		s.Configs = append(s.Configs, BenchConfigSnapshot{
 			Name: run.Name, Queries: rep.Queries, Timeouts: rep.Timeouts,
 			Degraded: run.Degraded, Failed: run.Failed, Reopts: rep.Reopts,
-			WallSeconds: run.Wall.Seconds(), QPS: run.QPS(),
-			Phases: rep.Phases, CE: rep.CE,
+			WallSeconds: run.Wall.Seconds(), ExecWallSeconds: run.ExecWall.Seconds(),
+			QPS: run.QPS(), Phases: rep.Phases, CE: rep.CE,
 		})
 	}
 	return s

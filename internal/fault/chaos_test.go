@@ -154,6 +154,52 @@ func TestChaosPoolSurvivesEstimatorAndOperatorFaults(t *testing.T) {
 	t.Logf("chaos: %d/%d degraded; guard %+v", degraded, len(queries), gs)
 }
 
+// TestChaosScalarBatchParity runs the chaos workload through the scalar
+// and the vectorized batch executor with identical operator-fault seeds.
+// Fault decisions are a pure hash of (query fingerprint, plan-node subset)
+// — independent of the executor — so the two paths must agree query by
+// query: the same results where execution succeeds, and the same injected
+// error where it does not. This pins the batch adapters (WrapFunc lowering
+// and lifting) to the scalar fault semantics.
+func TestChaosScalarBatchParity(t *testing.T) {
+	db := testutil.TinyDB()
+	queries := chaosWorkload(t)
+	hist := histogram.NewEstimator(db)
+	eng := engine.New(db)
+	ops := &fault.Ops{Err: fault.Injector{Seed: 104, Rate: 0.04}, AtRow: 2}
+	mk := func(scalar bool) engine.Config {
+		return engine.Config{
+			Estimator:  hist,
+			ExecWrap:   ops.Wrap,
+			Limits:     engine.Limits{MaxMatRows: 2_000_000},
+			ScalarExec: scalar,
+		}
+	}
+
+	faulted, completed := 0, 0
+	for i, q := range queries {
+		sres, serr := eng.Execute(q, mk(true))
+		bres, berr := eng.Execute(q, mk(false))
+		switch {
+		case serr == nil && berr == nil:
+			completed++
+			if sres.Count != bres.Count {
+				t.Errorf("query %d: scalar count %d != batch count %d", i, sres.Count, bres.Count)
+			}
+		case serr != nil && berr != nil:
+			faulted++
+			if !errors.Is(serr, fault.ErrInjected) || !errors.Is(berr, fault.ErrInjected) {
+				t.Errorf("query %d: untyped chaos errors: scalar %v, batch %v", i, serr, berr)
+			}
+		default:
+			t.Errorf("query %d: fault fired on one path only: scalar %v, batch %v", i, serr, berr)
+		}
+	}
+	if faulted == 0 || completed == 0 {
+		t.Fatalf("want a mix of faulted and clean queries, got %d/%d", faulted, completed)
+	}
+}
+
 // TestChaosUnguardedPoolStillSurvives drops the guard entirely: raw
 // estimator panics escape into the worker pool, and RunEach must convert
 // them into per-query *workload.PanicError without losing the other
