@@ -22,7 +22,15 @@
 //     does a training benchmark whose weights were not bit-identical, an
 //     executor benchmark whose batch-path result counts differed from
 //     scalar, or a batch path that has become slower than scalar on the
-//     hash-join probe hot path (speedup below 1).
+//     hash-join probe hot path (speedup below 1);
+//   - morsel-parallelism sanity, within the candidate alone: every
+//     "<config>/pxN" run's executor wall must not exceed its serial
+//     "<config>" run's by more than 10% or -min-seconds absolute (whichever
+//     is larger; sub-min-seconds deltas on short walls are scheduler noise),
+//     and the executor benchmark's parallel probe must not exceed its serial
+//     batch probe under the same rule. Speedups above 1 are expected to
+//     track available cores and are reported but not gated, so single-core
+//     CI machines don't flap.
 //
 // Exit status 0 when everything holds, 1 on any regression, 2 on usage or
 // I/O errors. The report prints every comparison, not just failures, so the
@@ -34,6 +42,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/lpce-db/lpce/internal/experiments"
 	"github.com/lpce-db/lpce/internal/obs"
@@ -112,22 +121,76 @@ func compare(w *os.File, base, cand *experiments.BenchSnapshot, maxRegress, minS
 		fmt.Fprintf(w, "training: %d workers on %d cores, %.2fx speedup, weights identical: %v\n",
 			cand.Training.Workers, cand.Training.Cores, cand.Training.Speedup, cand.Training.WeightsIdentical)
 	}
-	failures += checkExec(w, cand.Exec)
+	failures += checkParallel(w, cand, minSeconds)
+	failures += checkExec(w, cand.Exec, minSeconds)
+	return failures
+}
+
+// parallelOverhead is the tolerated slowdown of a morsel-parallel run over
+// its serial counterpart: the exchange must cost no more than +10% even when
+// no extra cores are available to pay for it.
+const parallelOverhead = 0.10
+
+// checkParallel gates the candidate's own "<config>/pxN" runs against their
+// serial siblings: intra-query parallelism must never make the executor wall
+// more than parallelOverhead slower. The comparison is within the candidate
+// snapshot — not against the baseline — so it holds on the very first
+// snapshot that carries parallel runs.
+func checkParallel(w *os.File, cand *experiments.BenchSnapshot, minSeconds float64) int {
+	serial := make(map[string]experiments.BenchConfigSnapshot, len(cand.Configs))
+	for _, c := range cand.Configs {
+		if !strings.Contains(c.Name, "/px") {
+			serial[c.Name] = c
+		}
+	}
+	failures := 0
+	for _, c := range cand.Configs {
+		name, _, ok := strings.Cut(c.Name, "/px")
+		if !ok {
+			continue
+		}
+		s, found := serial[name]
+		if !found {
+			fmt.Fprintf(w, "config %-12s has no serial sibling %q, skipped\n", c.Name, name)
+			continue
+		}
+		status := "ok"
+		switch {
+		case s.ExecWallSeconds <= 0:
+			status = "no serial exec wall"
+		case c.ExecWallSeconds <= s.ExecWallSeconds*(1+parallelOverhead):
+		case c.ExecWallSeconds-s.ExecWallSeconds < minSeconds:
+			// Sub-minSeconds absolute deltas on short walls are scheduler
+			// noise, not exchange overhead.
+			status = "ok (under min-seconds slack)"
+		default:
+			status = "REGRESSION"
+			failures++
+		}
+		speedup := 0.0
+		if c.ExecWallSeconds > 0 {
+			speedup = s.ExecWallSeconds / c.ExecWallSeconds
+		}
+		fmt.Fprintf(w, "config %-12s parallel exec wall %8.3fs vs serial %8.3fs  (%.2fx)  %s\n",
+			c.Name, c.ExecWallSeconds, s.ExecWallSeconds, speedup, status)
+	}
 	return failures
 }
 
 // checkExec gates the scalar-vs-batch executor benchmark: the batch path
-// must return the same result counts as scalar and must not be slower than
-// scalar on the probe hot path. The speedup is not diffed against the
-// baseline snapshot — microbenchmark wall times are too noisy across CI
+// must return the same result counts as scalar (and, when the parallel pass
+// ran, so must the morsel-parallel path) and must not be slower than scalar
+// on the probe hot path; the parallel probe must not exceed the serial batch
+// probe by more than parallelOverhead. The speedups are not diffed against
+// the baseline snapshot — microbenchmark wall times are too noisy across CI
 // machines — only the invariants are enforced.
-func checkExec(w *os.File, e *experiments.ExecBenchResult) int {
+func checkExec(w *os.File, e *experiments.ExecBenchResult, minSeconds float64) int {
 	if e == nil {
 		return 0
 	}
 	failures := 0
 	if !e.CountsIdentical {
-		fmt.Fprintf(w, "exec bench: batch result counts differ from scalar  REGRESSION\n")
+		fmt.Fprintf(w, "exec bench: result counts differ across executor paths  REGRESSION\n")
 		failures++
 	}
 	status := "ok"
@@ -137,6 +200,19 @@ func checkExec(w *os.File, e *experiments.ExecBenchResult) int {
 	}
 	fmt.Fprintf(w, "exec bench: probe %.2fx, suite T_E %.2fx, counts identical: %v  %s\n",
 		e.Speedup, e.SuiteSpeedup, e.CountsIdentical, status)
+	if e.ExecWorkers > 1 {
+		pstatus := "ok"
+		switch {
+		case e.ParallelProbeSeconds <= e.BatchProbeSeconds*(1+parallelOverhead):
+		case e.ParallelProbeSeconds-e.BatchProbeSeconds < minSeconds:
+			pstatus = "ok (under min-seconds slack)"
+		default:
+			pstatus = "REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(w, "exec bench: %d workers, parallel probe %.2fx vs batch, suite T_E %.2fx  %s\n",
+			e.ExecWorkers, e.ParallelSpeedup, e.SuiteParallelSpeedup, pstatus)
+	}
 	return failures
 }
 

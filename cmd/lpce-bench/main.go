@@ -7,7 +7,7 @@
 //	           parallel|observe|trainbench|execbench] [-parallel N] [-o file]
 //	           [-trace] [-metrics-out file] [-bench-out file]
 //	           [-timeout D] [-max-mat-rows N] [-exec batch|scalar]
-//	           [-models-in dir] [-train-workers N]
+//	           [-exec-workers N] [-models-in dir] [-train-workers N]
 //	           [-cpuprofile file] [-memprofile file]
 //
 // The default runs every experiment at small scale and streams the rendered
@@ -48,6 +48,14 @@
 // the engine default; "scalar" forces the tuple-at-a-time reference path)
 // so the two can be compared under the full observability layer.
 //
+// -exec-workers enables morsel-driven intra-query parallelism at the given
+// worker count (default 4; <= 1 keeps execution strictly serial). The
+// observe experiment then adds one extra "<config>/px<N>" run per
+// configuration alongside the serial baselines, and execbench adds
+// batch-vs-parallel measurements, so the perf snapshot carries serial and
+// parallel exec walls side by side. Results are byte-identical to the serial
+// batch path for any worker count; wall-clock gains track available cores.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiment (setup excluded), for digging into executor hot spots with
 // `go tool pprof`.
@@ -81,6 +89,7 @@ func main() {
 	modelsIn := flag.String("models-in", "", "load trained models from this artifact directory instead of training")
 	trainWorkers := flag.Int("train-workers", 0, "training worker goroutines (0 = serial; weights are identical for any value)")
 	execMode := flag.String("exec", "batch", "executor for the observe experiment: batch (default) or scalar")
+	execWorkers := flag.Int("exec-workers", 4, "morsel-parallelism worker count for observe/execbench (<= 1 = serial only)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	flag.Parse()
@@ -124,7 +133,7 @@ func main() {
 	opts := obsOpts{
 		metricsOut: *metricsOut, benchOut: *benchOut, scale: *scale, seed: *seed,
 		timeout: *timeout, maxMatRows: *maxMatRows, trainWorkers: *trainWorkers,
-		scalarExec: *execMode == "scalar",
+		scalarExec: *execMode == "scalar", execWorkers: *execWorkers,
 	}
 	// Profiles cover the experiment only; the setup phase (data generation
 	// and training) would otherwise drown the executor hot spots.
@@ -172,6 +181,7 @@ type obsOpts struct {
 	maxMatRows   int64
 	trainWorkers int
 	scalarExec   bool
+	execWorkers  int
 }
 
 func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpts) error {
@@ -228,7 +238,7 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 	case "trainbench":
 		fmt.Fprintln(w, experiments.TrainBench(env, opts.trainWorkers).Render())
 	case "execbench":
-		r, err := experiments.ExecBench(env)
+		r, err := experiments.ExecBench(env, opts.execWorkers)
 		if err != nil {
 			return err
 		}
@@ -239,7 +249,7 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 	case "observe":
 		r, err := experiments.ObservabilityWithOptions(env, experiments.ObsOptions{
 			Workers: workers, Timeout: opts.timeout, MaxMatRows: opts.maxMatRows,
-			ScalarExec: opts.scalarExec,
+			ScalarExec: opts.scalarExec, ExecWorkers: opts.execWorkers,
 		})
 		if err != nil {
 			return err
@@ -263,7 +273,7 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 			}
 			// ... and the executor benchmark, so it also watches batch-path
 			// regressions (correctness and speedup).
-			eb, err := experiments.ExecBench(env)
+			eb, err := experiments.ExecBench(env, opts.execWorkers)
 			if err != nil {
 				return err
 			}

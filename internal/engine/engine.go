@@ -60,6 +60,12 @@ type Config struct {
 	// amortizing per-tuple overheads over 1024-row batches; the scalar path
 	// remains as the reference implementation and an escape hatch.
 	ScalarExec bool
+	// ExecWorkers enables morsel-driven intra-query parallelism on the batch
+	// executor: eligible scan→hash-join pipelines are split into morsels and
+	// probed by up to ExecWorkers goroutines behind an order-preserving
+	// exchange. Results stay byte-identical to the serial path for any value;
+	// <= 1 (and ScalarExec) keep execution strictly serial.
+	ExecWorkers int
 }
 
 // Limits are the per-query resource budgets. The zero value disables every
@@ -193,6 +199,7 @@ func (e *Engine) execute(ctx context.Context, q *query.Query, cfg Config, qt *ob
 		ectx := &exec.Ctx{
 			DB: e.DB, Q: q, Controller: ctrl, Budget: cfg.Budget, Trace: qt.NewRound(),
 			Context: ctx, MaxMatRows: cfg.Limits.MaxMatRows, Wrap: cfg.ExecWrap,
+			ExecWorkers: cfg.ExecWorkers,
 		}
 		execStart := time.Now()
 		var count int

@@ -109,8 +109,17 @@ func BuildBatch(ctx *Ctx, n *plan.Node) (BatchOperator, error) {
 			op = &liftOp{inner: wrapped}
 		}
 	}
+	if testBatchWrap != nil {
+		op = testBatchWrap(op, n)
+	}
 	return op, nil
 }
+
+// testBatchWrap, when set by a test, wraps every batch operator BuildBatch
+// constructs (outermost). The lifecycle suite uses it to install
+// close-counting and Open-failing shims without touching ctx.Wrap, which
+// would route execution through the scalar lower/lift adapters.
+var testBatchWrap func(op BatchOperator, n *plan.Node) BatchOperator
 
 // RunBatch executes the plan through the batch path and returns the
 // COUNT(*) result — the vectorized equivalent of Run, with identical
@@ -120,6 +129,7 @@ func RunBatch(ctx *Ctx, root *plan.Node) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	op = maybeExchange(ctx, op)
 	defer op.Close()
 	if err := op.Open(ctx); err != nil {
 		return 0, err
@@ -147,6 +157,12 @@ func RunBatch(ctx *Ctx, root *plan.Node) (int, error) {
 // tuples up to and including the first exceeding row, so the work counter
 // and the *ResourceError payload match the scalar path exactly.
 func drainBatch(ctx *Ctx, node *plan.Node, op BatchOperator) ([][]int64, error) {
+	op = maybeExchange(ctx, op)
+	// Close the child on every exit, not just the clean one: a budget or
+	// cancellation error during build-side materialization must still tear
+	// down the child's subtree. Closes are idempotent, so callers like
+	// batchHashJoin.Close closing the same child again is harmless.
+	defer op.Close()
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
@@ -182,7 +198,6 @@ func drainBatch(ctx *Ctx, node *plan.Node, op BatchOperator) ([][]int64, error) 
 		arena = append(arena, b.data[:b.n*b.width]...)
 		total += b.n
 	}
-	op.Close()
 	node.TrueCard = float64(total)
 	rows := make([][]int64, total)
 	for i := range rows {

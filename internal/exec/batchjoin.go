@@ -83,26 +83,36 @@ func newBatchHashJoin(ctx *Ctx, n *plan.Node) (*batchHashJoin, error) {
 	}, nil
 }
 
-func (h *batchHashJoin) Open(ctx *Ctx) error {
+func (h *batchHashJoin) Open(ctx *Ctx) (err error) {
+	// A failed Open must leave the join releasable: drop the build arena and
+	// table so Close after the failure frees memory instead of retaining a
+	// half-initialized hash table.
+	defer func() {
+		if err != nil {
+			h.rows, h.table = nil, nil
+		}
+	}()
 	rows, err := drainBatch(ctx, h.node.Right, h.right)
 	if err != nil {
 		return err
 	}
-	if err := ctx.charge(int64(len(rows))); err != nil {
+	// vecTable chains rows with int32 links; a build side at or beyond 2^31
+	// rows would silently wrap into corruption, so refuse it with a typed
+	// resource error before building.
+	if err = checkVecBuildSize(len(rows)); err != nil {
+		return err
+	}
+	if err = ctx.charge(int64(len(rows))); err != nil {
 		return err
 	}
 	h.rows = rows
-	h.table = newVecTable(len(rows))
-	tails := make([]int32, len(h.table.heads))
-	for i, row := range rows {
-		h.table.insert(int32(i), hashRowConds(row, h.conds, false), tails)
-	}
+	h.table = buildVecTable(rows, h.conds, ctx.ExecWorkers)
 	// CHECK: the inner sub-plan is fully materialized; report its exact
 	// cardinality (paper Figure 10a).
-	if err := checkpoint(ctx, h.node.Right, rows); err != nil {
+	if err = checkpoint(ctx, h.node.Right, rows); err != nil {
 		return err
 	}
-	if err := h.left.Open(ctx); err != nil {
+	if err = h.left.Open(ctx); err != nil {
 		return err
 	}
 	h.probe, h.pi, h.chain = nil, 0, -1
@@ -214,8 +224,14 @@ func newBatchMergeJoin(ctx *Ctx, n *plan.Node) (*batchMergeJoin, error) {
 	}, nil
 }
 
-func (m *batchMergeJoin) Open(ctx *Ctx) error {
-	var err error
+func (m *batchMergeJoin) Open(ctx *Ctx) (err error) {
+	// Release both sorted buffers if any Open step fails, mirroring
+	// batchHashJoin: Close after a failed Open must not retain arenas.
+	defer func() {
+		if err != nil {
+			m.lrows, m.rrows = nil, nil
+		}
+	}()
 	m.lrows, err = drainBatch(ctx, m.node.Left, m.left)
 	if err != nil {
 		return err
@@ -376,14 +392,21 @@ func newBatchNLJoin(ctx *Ctx, n *plan.Node) (*batchNLJoin, error) {
 	return j, nil
 }
 
-func (j *batchNLJoin) Open(ctx *Ctx) error {
+func (j *batchNLJoin) Open(ctx *Ctx) (err error) {
+	// Release both materialized sides if any Open step fails, mirroring
+	// batchHashJoin.
+	defer func() {
+		if err != nil {
+			j.outer, j.inner = nil, nil
+		}
+	}()
 	// Materialize the outer side and CHECK it (paper Figure 10c).
 	rows, err := drainBatch(ctx, j.node.Left, j.left)
 	if err != nil {
 		return err
 	}
 	j.outer = rows
-	if err := checkpoint(ctx, j.node.Left, rows); err != nil {
+	if err = checkpoint(ctx, j.node.Left, rows); err != nil {
 		return err
 	}
 	if j.idxTable == nil {
@@ -391,7 +414,7 @@ func (j *batchNLJoin) Open(ctx *Ctx) error {
 		if err != nil {
 			return err
 		}
-		if err := checkpoint(ctx, j.node.Right, j.inner); err != nil {
+		if err = checkpoint(ctx, j.node.Right, j.inner); err != nil {
 			return err
 		}
 	}

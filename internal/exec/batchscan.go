@@ -14,6 +14,7 @@ type batchSeqScan struct {
 	node  *plan.Node
 	table *storage.Table
 	row   int
+	end   int // one past the last physical row to scan (morsel bound)
 	count int
 	sel   []int32
 	out   Batch
@@ -25,18 +26,18 @@ func newBatchSeqScan(ctx *Ctx, n *plan.Node) *batchSeqScan {
 
 func (s *batchSeqScan) Open(*Ctx) error {
 	s.row = 0
+	s.end = s.table.NumRows()
 	s.count = 0
 	return nil
 }
 
 func (s *batchSeqScan) NextBatch(ctx *Ctx) (*Batch, error) {
-	nrows := s.table.NumRows()
 	width := len(s.table.Meta.Columns)
-	for s.row < nrows {
+	for s.row < s.end {
 		lo := s.row
 		hi := lo + BatchSize
-		if hi > nrows {
-			hi = nrows
+		if hi > s.end {
+			hi = s.end
 		}
 		s.row = hi
 		if err := ctx.charge(int64(hi - lo)); err != nil {
@@ -200,6 +201,7 @@ type batchIndexScan struct {
 	rids  []int32
 	rest  []query.Predicate
 	pos   int
+	end   int // one past the last rid position to scan (morsel bound)
 	count int
 	sel   []int32
 	out   Batch
@@ -229,16 +231,17 @@ func (s *batchIndexScan) Open(ctx *Ctx) error {
 		return err
 	}
 	s.rids = rids
+	s.end = len(rids)
 	return nil
 }
 
 func (s *batchIndexScan) NextBatch(ctx *Ctx) (*Batch, error) {
 	width := len(s.table.Meta.Columns)
-	for s.pos < len(s.rids) {
+	for s.pos < s.end {
 		lo := s.pos
 		hi := lo + BatchSize
-		if hi > len(s.rids) {
-			hi = len(s.rids)
+		if hi > s.end {
+			hi = s.end
 		}
 		s.pos = hi
 		if err := ctx.charge(int64(hi - lo)); err != nil {
@@ -269,6 +272,7 @@ type batchMatScan struct {
 	node  *plan.Node
 	width int
 	pos   int
+	end   int // one past the last materialized row to replay (morsel bound)
 	out   Batch
 }
 
@@ -278,19 +282,20 @@ func newBatchMatScan(ctx *Ctx, n *plan.Node) *batchMatScan {
 
 func (s *batchMatScan) Open(*Ctx) error {
 	s.pos = 0
+	s.end = len(s.node.Mat.Rows)
 	return nil
 }
 
 func (s *batchMatScan) NextBatch(ctx *Ctx) (*Batch, error) {
 	rows := s.node.Mat.Rows
-	if s.pos >= len(rows) {
+	if s.pos >= s.end {
 		s.node.TrueCard = float64(len(rows))
 		return nil, nil
 	}
 	lo := s.pos
 	hi := lo + BatchSize
-	if hi > len(rows) {
-		hi = len(rows)
+	if hi > s.end {
+		hi = s.end
 	}
 	s.pos = hi
 	if err := ctx.charge(int64(hi - lo)); err != nil {

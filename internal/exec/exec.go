@@ -114,9 +114,20 @@ type Ctx struct {
 	// across the whole execution; exceeding it fails the query with a
 	// *ResourceError. Zero means unlimited.
 	MaxMatRows int64
-	work       int64
-	matRows    int64
-	nextPoll   int64
+	// ExecWorkers enables morsel-driven intra-query parallelism on the batch
+	// path: RunBatch and drainBatch wrap eligible pipelines in an
+	// order-preserving exchange running up to ExecWorkers goroutines. Values
+	// <= 1 keep execution strictly serial. Results are byte-identical for any
+	// worker count (see exchange.go).
+	ExecWorkers int
+	work        int64
+	matRows     int64
+	nextPoll    int64
+	// rec, when non-nil, marks this Ctx as a morsel worker's replica context:
+	// charge records work into the recorder instead of mutating budget state,
+	// and the exchange coordinator replays the recorded amounts on the real
+	// Ctx in deterministic morsel order.
+	rec *morselRecorder
 	// layouts memoizes plan.NewLayout per table subset: every join node
 	// resolves left/right/output layouts, and without the cache plan
 	// construction recomputes the same layouts once per node per helper
@@ -140,8 +151,12 @@ func (c *Ctx) Layout(mask query.BitSet) *plan.Layout {
 }
 
 // charge consumes n work units, failing when the budget is exhausted or the
-// context is cancelled.
+// context is cancelled. On a morsel worker's replica context the units are
+// recorded instead, to be replayed serially by the exchange coordinator.
 func (c *Ctx) charge(n int64) error {
+	if c.rec != nil {
+		return c.rec.charge(n)
+	}
 	c.work += n
 	if c.Budget > 0 && c.work > c.Budget {
 		return ErrBudget
@@ -256,6 +271,10 @@ func Run(ctx *Ctx, root *plan.Node) (int, error) {
 // work, and stamps the child's true cardinality. It is the shared
 // materialization routine of the pipeline breakers.
 func drain(ctx *Ctx, node *plan.Node, op Operator) ([][]int64, error) {
+	// Close the child on every exit, not just the clean one: a budget or
+	// cancellation error mid-drain must still tear down the child's own
+	// subtree. Operators tolerate the caller's second Close.
+	defer op.Close()
 	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
@@ -280,7 +299,6 @@ func drain(ctx *Ctx, node *plan.Node, op Operator) ([][]int64, error) {
 		copy(cp, t)
 		rows = append(rows, cp)
 	}
-	op.Close()
 	node.TrueCard = float64(len(rows))
 	return rows, nil
 }

@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// maxVecBuildRows is the largest build side a vecTable can index: rows are
+// linked with int32, so one more row than MaxInt32 would wrap the chain
+// links into silent corruption.
+const maxVecBuildRows = math.MaxInt32
+
+// checkVecBuildSize guards the int32 row links of vecTable: a build side
+// beyond maxVecBuildRows fails with a typed *ResourceError (consistent with
+// the budget errors) instead of corrupting the table.
+func checkVecBuildSize(n int) error {
+	if int64(n) > maxVecBuildRows {
+		return &ResourceError{Resource: "hash-build-rows", Limit: maxVecBuildRows, Used: int64(n)}
+	}
+	return nil
+}
+
+// buildVecTable indexes the build rows. With workers > 1 and enough rows,
+// the hash of every row is computed by a pool of workers over morsel-sized
+// partitions; the table inserts then happen serially in global row order, so
+// slot placement and chain order are byte-identical to the serial build —
+// hashing is the dominant cost, insertion is a cheap pointer walk.
+func buildVecTable(rows [][]int64, conds []condOffsets, workers int) *vecTable {
+	t := newVecTable(len(rows))
+	tails := make([]int32, len(t.heads))
+	if workers < 2 || len(rows) < 2*morselSize {
+		for i, row := range rows {
+			t.insert(int32(i), hashRowConds(row, conds, false), tails)
+		}
+		return t
+	}
+	hashes := make([]uint64, len(rows))
+	nm := (len(rows) + morselSize - 1) / morselSize
+	if workers > nm {
+		workers = nm
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				m := int(next.Add(1) - 1)
+				if m >= nm {
+					return
+				}
+				lo := m * morselSize
+				hi := min(lo+morselSize, len(rows))
+				for i := lo; i < hi; i++ {
+					hashes[i] = hashRowConds(rows[i], conds, false)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// Deterministic merge: insertion order is the global row order, exactly
+	// as the serial loop would have inserted.
+	for i := range rows {
+		t.insert(int32(i), hashes[i], tails)
+	}
+	return t
+}

@@ -28,13 +28,29 @@ type ExecBenchResult struct {
 	// fails when it drops below 1 (batch slower than scalar).
 	Speedup float64 `json:"speedup"`
 
+	// ExecWorkers is the morsel-parallelism worker count the parallel
+	// measurements ran with; 0 when the parallel pass was skipped. The
+	// parallel numbers ride the same probe hot path and suite with
+	// Ctx.ExecWorkers set, and their counts fold into CountsIdentical.
+	// Wall-clock gains track available cores: on a single-core host the
+	// parallel wall is expected to roughly match the serial batch wall (the
+	// benchdiff gate only rejects it exceeding serial by more than 10%).
+	ExecWorkers          int     `json:"exec_workers,omitempty"`
+	ParallelProbeSeconds float64 `json:"parallel_probe_seconds,omitempty"`
+	// ParallelSpeedup is serial-batch/parallel-batch time on the probe hot
+	// path (not scalar/parallel), isolating what the exchange adds.
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+
 	// Suite: executor wall (T_E only) across the JOB-like queries.
-	SuiteQueries       int     `json:"suite_queries"`
-	SuiteScalarSeconds float64 `json:"suite_scalar_exec_seconds"`
-	SuiteBatchSeconds  float64 `json:"suite_batch_exec_seconds"`
-	SuiteSpeedup       float64 `json:"suite_speedup"`
-	// CountsIdentical asserts both paths returned the same COUNT(*) for
-	// every suite query.
+	SuiteQueries         int     `json:"suite_queries"`
+	SuiteScalarSeconds   float64 `json:"suite_scalar_exec_seconds"`
+	SuiteBatchSeconds    float64 `json:"suite_batch_exec_seconds"`
+	SuiteSpeedup         float64 `json:"suite_speedup"`
+	SuiteParallelSeconds float64 `json:"suite_parallel_exec_seconds,omitempty"`
+	SuiteParallelSpeedup float64 `json:"suite_parallel_speedup,omitempty"`
+	// CountsIdentical asserts every measured path — scalar, batch, and the
+	// morsel-parallel batch when enabled — returned the same COUNT(*) for
+	// every suite query and for the probe hot path.
 	CountsIdentical bool `json:"counts_identical"`
 }
 
@@ -66,25 +82,33 @@ func execBenchDB(buildRows, probeRows int) (*storage.Database, *query.Query) {
 	return db, q
 }
 
-// ExecBench measures the batch executor against the scalar reference. The
+// ExecBench measures the batch executor against the scalar reference, and —
+// when execWorkers > 1 — the morsel-parallel batch path against both. The
 // hot-path numbers are best-of-reps to shed scheduler noise; the suite
 // numbers are single-pass sums of executor wall time under the PostgreSQL
 // (histogram) configuration.
-func ExecBench(e *Env) (*ExecBenchResult, error) {
+func ExecBench(e *Env, execWorkers int) (*ExecBenchResult, error) {
 	const buildRows, probeRows, reps = 4096, 1 << 16, 5
 	res := &ExecBenchResult{BuildRows: buildRows, ProbeRows: probeRows, CountsIdentical: true}
+	if execWorkers > 1 {
+		res.ExecWorkers = execWorkers
+	}
 
 	db, q := execBenchDB(buildRows, probeRows)
-	best := func(batch bool) (float64, int, error) {
+	// mode: 0 = scalar, 1 = batch, 2 = morsel-parallel batch.
+	best := func(mode int) (float64, int, error) {
 		bestSec := 0.0
 		count := 0
 		for r := 0; r < reps; r++ {
 			pl := planOnly(q)
 			ctx := &exec.Ctx{DB: db, Q: q}
+			if mode == 2 {
+				ctx.ExecWorkers = execWorkers
+			}
 			start := time.Now()
 			var c int
 			var err error
-			if batch {
+			if mode != 0 {
 				c, err = exec.RunBatch(ctx, pl)
 			} else {
 				c, err = exec.Run(ctx, pl)
@@ -100,11 +124,11 @@ func ExecBench(e *Env) (*ExecBenchResult, error) {
 		}
 		return bestSec, count, nil
 	}
-	scalarSec, scalarCount, err := best(false)
+	scalarSec, scalarCount, err := best(0)
 	if err != nil {
 		return nil, err
 	}
-	batchSec, batchCount, err := best(true)
+	batchSec, batchCount, err := best(1)
 	if err != nil {
 		return nil, err
 	}
@@ -116,6 +140,19 @@ func ExecBench(e *Env) (*ExecBenchResult, error) {
 	if batchSec > 0 {
 		res.Speedup = scalarSec / batchSec
 	}
+	if res.ExecWorkers > 1 {
+		parSec, parCount, err := best(2)
+		if err != nil {
+			return nil, err
+		}
+		if parCount != batchCount {
+			res.CountsIdentical = false
+		}
+		res.ParallelProbeSeconds = parSec
+		if parSec > 0 {
+			res.ParallelSpeedup = batchSec / parSec
+		}
+	}
 
 	// Suite comparison: the JOB-like queries end to end, summing executor
 	// wall only, with the result counts cross-checked.
@@ -126,9 +163,16 @@ func ExecBench(e *Env) (*ExecBenchResult, error) {
 	eng := engine.New(e.DB)
 	cfg := engine.Config{Estimator: e.Histogram, Budget: e.P.budget}
 	counts := make(map[string]int)
-	for _, scalar := range []bool{true, false} {
+	modes := []int{0, 1}
+	if res.ExecWorkers > 1 {
+		modes = append(modes, 2)
+	}
+	for _, mode := range modes {
 		c := cfg
-		c.ScalarExec = scalar
+		c.ScalarExec = mode == 0
+		if mode == 2 {
+			c.ExecWorkers = execWorkers
+		}
 		var wall time.Duration
 		for _, name := range joblike.Names() {
 			r, err := eng.Execute(queries[name], c)
@@ -136,21 +180,27 @@ func ExecBench(e *Env) (*ExecBenchResult, error) {
 				return nil, fmt.Errorf("execbench %s: %w", name, err)
 			}
 			wall += r.ExecTime
-			if scalar {
+			if mode == 0 {
 				counts[name] = r.Count
 			} else if counts[name] != r.Count {
 				res.CountsIdentical = false
 			}
 		}
-		if scalar {
+		switch mode {
+		case 0:
 			res.SuiteScalarSeconds = wall.Seconds()
-		} else {
+		case 1:
 			res.SuiteBatchSeconds = wall.Seconds()
+		case 2:
+			res.SuiteParallelSeconds = wall.Seconds()
 		}
 	}
 	res.SuiteQueries = len(joblike.Names())
 	if res.SuiteBatchSeconds > 0 {
 		res.SuiteSpeedup = res.SuiteScalarSeconds / res.SuiteBatchSeconds
+	}
+	if res.SuiteParallelSeconds > 0 {
+		res.SuiteParallelSpeedup = res.SuiteBatchSeconds / res.SuiteParallelSeconds
 	}
 	return res, nil
 }
@@ -175,5 +225,19 @@ func (r *ExecBenchResult) Render() string {
 	t.AddRow(fmt.Sprintf("JOB-like suite T_E (%d queries)", r.SuiteQueries),
 		FmtDur(r.SuiteScalarSeconds), FmtDur(r.SuiteBatchSeconds),
 		fmt.Sprintf("%.2fx", r.SuiteSpeedup))
-	return t.String()
+	out := t.String()
+	if r.ExecWorkers > 1 {
+		p := &Table{
+			Title: fmt.Sprintf("Executor: batch vs morsel-parallel batch (%d workers)",
+				r.ExecWorkers),
+			Header: []string{"workload", "batch", "parallel", "speedup"},
+		}
+		p.AddRow("hash-join probe", FmtDur(r.BatchProbeSeconds), FmtDur(r.ParallelProbeSeconds),
+			fmt.Sprintf("%.2fx", r.ParallelSpeedup))
+		p.AddRow(fmt.Sprintf("JOB-like suite T_E (%d queries)", r.SuiteQueries),
+			FmtDur(r.SuiteBatchSeconds), FmtDur(r.SuiteParallelSeconds),
+			fmt.Sprintf("%.2fx", r.SuiteParallelSpeedup))
+		out += "\n" + p.String()
+	}
+	return out
 }

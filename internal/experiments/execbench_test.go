@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/exec"
+)
+
+// TestExecBenchParallel runs the executor benchmark with the morsel-parallel
+// pass enabled: every path must agree on result counts, the parallel fields
+// must be populated, and the render must surface the extra table. The worker
+// clamp is lifted so the parallel path really runs even on one core.
+func TestExecBenchParallel(t *testing.T) {
+	t.Cleanup(exec.SetExchangeWorkerCap(64))
+	e := env(t)
+	r, err := ExecBench(e, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CountsIdentical {
+		t.Fatal("executor paths disagree on result counts")
+	}
+	if r.ExecWorkers != 2 {
+		t.Fatalf("ExecWorkers = %d, want 2", r.ExecWorkers)
+	}
+	if r.ParallelProbeSeconds <= 0 || r.SuiteParallelSeconds <= 0 {
+		t.Fatalf("parallel measurements missing: probe %v, suite %v",
+			r.ParallelProbeSeconds, r.SuiteParallelSeconds)
+	}
+	if r.ParallelSpeedup <= 0 || r.SuiteParallelSpeedup <= 0 {
+		t.Fatalf("parallel speedups missing: probe %v, suite %v",
+			r.ParallelSpeedup, r.SuiteParallelSpeedup)
+	}
+	if !strings.Contains(r.Render(), "morsel-parallel") {
+		t.Fatal("render missing the morsel-parallel table")
+	}
+}
+
+// TestExecBenchSerialOnly pins the workers<=1 behaviour: no parallel fields,
+// so existing snapshots and the benchdiff parallel checks stay inert.
+func TestExecBenchSerialOnly(t *testing.T) {
+	e := env(t)
+	r, err := ExecBench(e, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.CountsIdentical {
+		t.Fatal("executor paths disagree on result counts")
+	}
+	if r.ExecWorkers != 0 || r.ParallelProbeSeconds != 0 || r.SuiteParallelSeconds != 0 {
+		t.Fatalf("serial-only run populated parallel fields: %+v", r)
+	}
+}

@@ -69,6 +69,12 @@ type ObsOptions struct {
 	// ScalarExec forces the tuple-at-a-time executor instead of the default
 	// vectorized batch path (see engine.Config.ScalarExec).
 	ScalarExec bool
+	// ExecWorkers, when > 1, adds one extra run per configuration with
+	// morsel-driven intra-query parallelism enabled at that worker count,
+	// named "<config>/px<N>". The base runs stay serial, so the snapshot
+	// carries serial and parallel exec walls side by side for the benchdiff
+	// speedup-sanity gate. Ignored when ScalarExec is set.
+	ExecWorkers int
 }
 
 // Observability executes the JOB-like named suite under the PostgreSQL,
@@ -104,16 +110,14 @@ func ObservabilityWithOptions(e *Env, opt ObsOptions) (*ObsResult, error) {
 	want := map[string]bool{"PostgreSQL": true, "LPCE-I": true, "LPCE-R": true}
 	res := &ObsResult{Label: fmt.Sprintf("JOB-like suite (%d queries)", len(wl)), Workers: workers}
 	eng := engine.New(e.DB)
-	for _, rc := range e.Configs() {
-		if !want[rc.Name] {
-			continue
-		}
+	runOne := func(name string, base engine.Config, execWorkers int) {
 		o := obs.NewObserver()
-		cfg := rc.Cfg
+		cfg := base
 		cfg.Obs = o
 		cfg.Estimator = cardest.NewCacheWithMetrics(cfg.Estimator, o.Registry())
 		cfg.Limits.MaxMatRows = opt.MaxMatRows
 		cfg.ScalarExec = opt.ScalarExec
+		cfg.ExecWorkers = execWorkers
 		var execWall atomic.Int64 // summed T_E nanos across workers
 		start := time.Now()
 		errs := workload.RunEach(context.Background(), len(wl), workers, func(i int) error {
@@ -130,7 +134,7 @@ func ObservabilityWithOptions(e *Env, opt ObsOptions) (*ObsResult, error) {
 			}
 			return nil
 		})
-		run := ObsRun{Name: rc.Name, Wall: time.Since(start),
+		run := ObsRun{Name: name, Wall: time.Since(start),
 			ExecWall: time.Duration(execWall.Load()), Report: o.Report()}
 		for _, err := range errs {
 			switch {
@@ -142,6 +146,15 @@ func ObservabilityWithOptions(e *Env, opt ObsOptions) (*ObsResult, error) {
 			}
 		}
 		res.Runs = append(res.Runs, run)
+	}
+	for _, rc := range e.Configs() {
+		if !want[rc.Name] {
+			continue
+		}
+		runOne(rc.Name, rc.Cfg, 0)
+		if opt.ExecWorkers > 1 && !opt.ScalarExec {
+			runOne(fmt.Sprintf("%s/px%d", rc.Name, opt.ExecWorkers), rc.Cfg, opt.ExecWorkers)
+		}
 	}
 	return res, nil
 }

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"github.com/lpce-db/lpce/internal/exec"
 )
 
 // TestObservability runs the observability experiment on the tiny
@@ -70,5 +72,49 @@ func TestObservability(t *testing.T) {
 		if !strings.Contains(string(raw), frag) {
 			t.Fatalf("snapshot JSON missing %s", frag)
 		}
+	}
+}
+
+// TestObservabilityParallelRuns checks that ObsOptions.ExecWorkers adds one
+// morsel-parallel run per configuration alongside the serial baseline, with
+// identical query counts and no failures — the property the benchdiff
+// speedup-sanity gate builds on.
+func TestObservabilityParallelRuns(t *testing.T) {
+	t.Cleanup(exec.SetMorselSize(64)) // tiny tables must split into many morsels
+	t.Cleanup(exec.SetExchangeWorkerCap(64))
+	e := env(t)
+	res, err := ObservabilityWithOptions(e, ObsOptions{Workers: 2, ExecWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Runs) != 6 {
+		t.Fatalf("want 3 serial + 3 parallel runs, got %d", len(res.Runs))
+	}
+	byName := make(map[string]ObsRun, len(res.Runs))
+	for _, run := range res.Runs {
+		byName[run.Name] = run
+	}
+	for _, name := range []string{"PostgreSQL", "LPCE-I", "LPCE-R"} {
+		s, ok := byName[name]
+		if !ok {
+			t.Fatalf("serial run %q missing", name)
+		}
+		p, ok := byName[name+"/px2"]
+		if !ok {
+			t.Fatalf("parallel run %q/px2 missing", name)
+		}
+		if p.Report.Queries != s.Report.Queries {
+			t.Fatalf("%s: parallel ran %d queries, serial %d", name, p.Report.Queries, s.Report.Queries)
+		}
+		if p.Failed != 0 || p.Degraded != 0 {
+			t.Fatalf("%s/px2: %d failed, %d degraded", name, p.Failed, p.Degraded)
+		}
+		if p.ExecWall <= 0 {
+			t.Fatalf("%s/px2: no exec wall recorded", name)
+		}
+	}
+	snap := res.Snapshot("tiny", e.Seed)
+	if len(snap.Configs) != 6 {
+		t.Fatalf("snapshot has %d configs, want 6", len(snap.Configs))
 	}
 }
