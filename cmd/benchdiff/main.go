@@ -123,6 +123,44 @@ func compare(w *os.File, base, cand *experiments.BenchSnapshot, maxRegress, minS
 	}
 	failures += checkParallel(w, cand, minSeconds)
 	failures += checkExec(w, cand.Exec, minSeconds)
+	failures += checkServer(w, base.Server, cand.Server, maxRegress, minSeconds)
+	return failures
+}
+
+// checkServer gates the multi-tenant serving benchmark. Invariants within
+// the candidate: served counts must match the bare engine, no query may
+// error, and the mid-run hot-swap must actually have happened. Against the
+// baseline (when it carries the benchmark): serving wall time must not
+// regress beyond the usual threshold, with the same sub-minSeconds slack as
+// every other wall comparison. A candidate that silently drops the
+// benchmark while the baseline has it fails — the gate cannot be dodged by
+// not running it.
+func checkServer(w *os.File, base, cand *experiments.ServerBenchResult, maxRegress, minSeconds float64) int {
+	if cand == nil {
+		if base != nil {
+			fmt.Fprintf(w, "server bench: present in baseline, missing in candidate  REGRESSION\n")
+			return 1
+		}
+		return 0
+	}
+	failures := 0
+	if !cand.CountsIdentical {
+		fmt.Fprintf(w, "server bench: served counts diverge from the bare engine  REGRESSION\n")
+		failures++
+	}
+	if cand.Errors > 0 {
+		fmt.Fprintf(w, "server bench: %d queries errored through the server  REGRESSION\n", cand.Errors)
+		failures++
+	}
+	if cand.Swaps < 1 {
+		fmt.Fprintf(w, "server bench: no mid-run hot-swap happened  REGRESSION\n")
+		failures++
+	}
+	fmt.Fprintf(w, "server bench: %d queries / %d tenants / %d workers: %.0f qps, p50 %.2fms, p99 %.2fms, %d swaps, counts identical: %v\n",
+		cand.Queries, cand.Tenants, cand.Workers, cand.QPS, cand.P50Millis, cand.P99Millis, cand.Swaps, cand.CountsIdentical)
+	if base != nil {
+		failures += checkWall(w, "server", "serve wall", base.WallSeconds, cand.WallSeconds, maxRegress, minSeconds)
+	}
 	return failures
 }
 

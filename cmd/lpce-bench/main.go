@@ -282,6 +282,18 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 			if !eb.CountsIdentical {
 				return fmt.Errorf("exec bench: batch path result counts differ from scalar")
 			}
+			// ... and the serving benchmark, so it also watches the
+			// multi-tenant server path (throughput, tail latency, hot-swap).
+			sb, err := experiments.ServerBench(env, opts.execWorkers)
+			if err != nil {
+				return err
+			}
+			snap.Server = sb
+			fmt.Fprintf(w, "server bench: %d queries, %d tenants, %d workers: %.0f qps, p50 %.2fms, p99 %.2fms, %d swaps, counts identical: %v\n",
+				sb.Queries, sb.Tenants, sb.Workers, sb.QPS, sb.P50Millis, sb.P99Millis, sb.Swaps, sb.CountsIdentical)
+			if !sb.CountsIdentical {
+				return fmt.Errorf("server bench: served results diverge from the bare engine")
+			}
 			if err := writeJSON(opts.benchOut, snap); err != nil {
 				return err
 			}

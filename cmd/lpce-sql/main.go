@@ -1,27 +1,42 @@
-// Command lpce-sql is an interactive SQL shell over a generated database:
-// type COUNT(*) queries and watch the optimizer, the learned estimator and
-// the re-optimizing executor at work.
+// Command lpce-sql is a SQL front-end over a generated database: an
+// interactive shell by default, a long-running multi-tenant HTTP server
+// with -serve.
 //
 // Usage:
 //
 //	lpce-sql [-titles N] [-seed N] [-estimator histogram|lpce|lpce-r]
+//	         [-models-in dir] [-serve addr] [-tenants a:1,b:2]
 //
-// Shell commands:
+// Interactive shell commands:
 //
 //	SELECT COUNT(*) FROM ... ;      execute a query
 //	EXPLAIN SELECT ...              show the chosen plan without executing
 //	\tables                         list tables and row counts
 //	\sample [joins]                 print a random generated query
 //	\quit                           exit
+//
+// With -models-in, the lpce/lpce-r estimators load trained artifacts from a
+// modelio directory (written by cmd/lpce-train against the same -titles and
+// -seed) instead of retraining at startup.
+//
+// With -serve, the process becomes a resident server exposing POST /query,
+// POST /explain, GET /healthz, GET /metrics, and POST /admin/models/swap,
+// with per-tenant namespaces and admission control; SIGINT/SIGTERM drains
+// in-flight queries before exiting.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
+	"time"
 
 	"github.com/lpce-db/lpce/internal/cardest"
 	"github.com/lpce-db/lpce/internal/core"
@@ -29,7 +44,10 @@ import (
 	"github.com/lpce-db/lpce/internal/encode"
 	"github.com/lpce-db/lpce/internal/engine"
 	"github.com/lpce-db/lpce/internal/histogram"
+	"github.com/lpce-db/lpce/internal/modelio"
+	"github.com/lpce-db/lpce/internal/server"
 	"github.com/lpce-db/lpce/internal/sqlparse"
+	"github.com/lpce-db/lpce/internal/storage"
 	"github.com/lpce-db/lpce/internal/workload"
 )
 
@@ -37,32 +55,187 @@ func main() {
 	titles := flag.Int("titles", 1500, "rows in the central title table")
 	seed := flag.Int64("seed", 1, "random seed")
 	estName := flag.String("estimator", "lpce-r", "histogram, lpce, or lpce-r")
+	modelsIn := flag.String("models-in", "", "load trained models from this artifact directory instead of training")
+	serve := flag.String("serve", "", "serve HTTP on this address (e.g. :8080) instead of the interactive shell")
+	tenants := flag.String("tenants", "default:1", "comma-separated tenant:weight pairs for -serve")
+	maxConcurrent := flag.Int64("max-concurrent", 8, "admission capacity in weight units for -serve")
+	maxQueue := flag.Int("max-queue", 32, "admission wait-queue bound for -serve")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline for -serve")
+	cacheCap := flag.Int("cache-cap", 65536, "per-tenant estimate-cache capacity for -serve (0 = unbounded)")
 	flag.Parse()
 
 	fmt.Printf("generating database (titles=%d)...\n", *titles)
 	db := datagen.Generate(datagen.Config{Titles: *titles, Seed: *seed})
-	eng := engine.New(db)
-	gen := workload.NewGenerator(db, *seed+1)
+	enc := encode.NewEncoder(db.Schema)
 
+	est, refiner, set, err := buildEstimator(db, enc, *estName, *modelsIn, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *serve != "" {
+		if err := runServer(db, enc, set, serveOptions{
+			addr:          *serve,
+			mode:          *estName,
+			tenants:       *tenants,
+			maxConcurrent: *maxConcurrent,
+			maxQueue:      *maxQueue,
+			timeout:       *timeout,
+			cacheCap:      *cacheCap,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	runShell(db, est, refiner, *seed)
+}
+
+// buildEstimator resolves -estimator/-models-in into the serving stack: the
+// estimator, the optional refiner, and (for the model modes) the artifact
+// set the server boots from.
+func buildEstimator(db *storage.Database, enc *encode.Encoder, estName, modelsIn string, seed int64) (cardest.Estimator, *core.Refiner, *modelio.Set, error) {
 	var est cardest.Estimator = histogram.NewEstimator(db)
-	var refiner *core.Refiner
-	if *estName == "lpce" || *estName == "lpce-r" {
+	if estName != "lpce" && estName != "lpce-r" {
+		if estName != "histogram" {
+			return nil, nil, nil, fmt.Errorf("unknown -estimator %q (want histogram, lpce, or lpce-r)", estName)
+		}
+		return est, nil, nil, nil
+	}
+
+	var set *modelio.Set
+	if modelsIn != "" {
+		fmt.Printf("loading trained models from %s...\n", modelsIn)
+		loaded, err := modelio.LoadSet(modelsIn, enc, db)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		set = loaded
+	} else {
 		fmt.Println("training LPCE models (a few seconds)...")
-		enc := encode.NewEncoder(db.Schema)
+		gen := workload.NewGenerator(db, seed+1)
 		samples, _ := core.CollectSamples(db, histogram.NewEstimator(db),
 			gen.QueriesRange(180, 2, 6), 40_000_000)
 		logMax := core.MaxLogCard(samples)
-		cfg := core.TrainConfig{Hidden: 24, OutWidth: 32, Epochs: 20, NodeWise: true, Seed: *seed}
-		lpcei := core.TrainLPCEI(core.LPCEIConfig{
-			Teacher: cfg,
-			Student: core.TrainConfig{Hidden: 10, OutWidth: 12, Epochs: 15, NodeWise: true, Seed: *seed},
-		}, enc, samples, logMax)
-		est = &core.TreeEstimator{Label: "lpce-i", Model: lpcei.Model, Enc: enc}
-		if *estName == "lpce-r" {
-			refiner = core.TrainRefiner(core.RefinerConfig{Kind: core.RefinerFull, Base: cfg, AdjustEpochs: 10},
+		cfg := core.TrainConfig{Hidden: 24, OutWidth: 32, Epochs: 20, NodeWise: true, Seed: seed}
+		set = &modelio.Set{
+			LPCEI: core.TrainLPCEI(core.LPCEIConfig{
+				Teacher: cfg,
+				Student: core.TrainConfig{Hidden: 10, OutWidth: 12, Epochs: 15, NodeWise: true, Seed: seed},
+			}, enc, samples, logMax),
+		}
+		if estName == "lpce-r" {
+			set.Refiner = core.TrainRefiner(core.RefinerConfig{Kind: core.RefinerFull, Base: cfg, AdjustEpochs: 10},
 				enc, db, samples, logMax)
 		}
 	}
+	if set.LPCEI == nil {
+		return nil, nil, nil, fmt.Errorf("artifact set has no LPCE-I model")
+	}
+	est = &core.TreeEstimator{Label: "lpce-i", Model: set.LPCEI.Model, Enc: enc}
+	var refiner *core.Refiner
+	if estName == "lpce-r" {
+		if set.Refiner == nil {
+			return nil, nil, nil, fmt.Errorf("estimator lpce-r needs a refiner artifact")
+		}
+		refiner = set.Refiner
+	}
+	return est, refiner, set, nil
+}
+
+type serveOptions struct {
+	addr          string
+	mode          string
+	tenants       string
+	maxConcurrent int64
+	maxQueue      int
+	timeout       time.Duration
+	cacheCap      int
+}
+
+// parseTenants parses "alpha:2,beta:1" (weight optional, default 1).
+func parseTenants(spec string) ([]server.TenantConfig, error) {
+	var out []server.TenantConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, weightStr, hasWeight := strings.Cut(part, ":")
+		tc := server.TenantConfig{Name: name, Weight: 1}
+		if hasWeight {
+			w, err := strconv.ParseInt(weightStr, 10, 64)
+			if err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad tenant weight in %q", part)
+			}
+			tc.Weight = w
+		}
+		out = append(out, tc)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-tenants is empty")
+	}
+	return out, nil
+}
+
+// runServer runs the resident HTTP server until SIGINT/SIGTERM, then drains
+// in-flight queries (30s grace) before exiting.
+func runServer(db *storage.Database, enc *encode.Encoder, set *modelio.Set, opts serveOptions) error {
+	tcs, err := parseTenants(opts.tenants)
+	if err != nil {
+		return err
+	}
+	srv, err := server.New(server.Config{
+		DB:             db,
+		Enc:            enc,
+		Mode:           opts.mode,
+		Models:         set,
+		Tenants:        tcs,
+		MaxConcurrent:  opts.maxConcurrent,
+		MaxQueue:       opts.maxQueue,
+		DefaultTimeout: opts.timeout,
+		CacheCapacity:  opts.cacheCap,
+	})
+	if err != nil {
+		return err
+	}
+
+	hs := &http.Server{Addr: opts.addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	names := make([]string, len(tcs))
+	for i, tc := range tcs {
+		names[i] = fmt.Sprintf("%s(w=%d)", tc.Name, tc.Weight)
+	}
+	fmt.Printf("serving on %s (mode=%s, tenants=%s); Ctrl-C to drain and exit\n",
+		opts.addr, opts.mode, strings.Join(names, ","))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		_ = srv.Close(context.Background())
+		return err
+	case s := <-sig:
+		fmt.Printf("\n%v: draining...\n", s)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	_ = hs.Shutdown(ctx)
+	if err := srv.Close(ctx); err != nil {
+		fmt.Printf("drain cut short: %v\n", err)
+	} else {
+		fmt.Println("drained cleanly")
+	}
+	return nil
+}
+
+// runShell is the interactive loop.
+func runShell(db *storage.Database, est cardest.Estimator, refiner *core.Refiner, seed int64) {
+	eng := engine.New(db)
+	gen := workload.NewGenerator(db, seed+1)
 	fmt.Printf("ready (estimator=%s). Try \\tables, \\sample 4, or a SELECT COUNT(*) query.\n", est.Name())
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -71,6 +244,10 @@ func main() {
 		fmt.Print("lpce> ")
 		if !sc.Scan() {
 			fmt.Println()
+			if err := sc.Err(); err != nil {
+				fmt.Fprintf(os.Stderr, "stdin: %v\n", err)
+				os.Exit(1)
+			}
 			return
 		}
 		line := strings.TrimSpace(sc.Text())

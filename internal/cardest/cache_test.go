@@ -106,6 +106,108 @@ func TestCacheConcurrent(t *testing.T) {
 	}
 }
 
+func TestCacheBoundedEvicts(t *testing.T) {
+	var calls atomic.Int64
+	inner := FuncEstimator{Label: "b", Fn: func(q *query.Query, m query.BitSet) float64 {
+		calls.Add(1)
+		return float64(q.Fingerprint()%997) + float64(m)
+	}}
+	const capacity = 64 // one entry per shard
+	c := NewCacheBounded(inner, nil, capacity)
+	qs := cacheFixtureQueries()
+
+	// Insert far more distinct (query, mask) keys than the capacity admits.
+	const keys = 1000
+	for i := 0; i < keys; i++ {
+		c.EstimateSubset(qs[i%len(qs)], query.BitSet(1+i/len(qs)))
+	}
+	if c.Len() > capacity {
+		t.Fatalf("bounded cache holds %d entries, cap %d", c.Len(), capacity)
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("no evictions despite overflowing the capacity")
+	}
+	if got := c.Evictions() + int64(c.Len()); got != keys {
+		t.Fatalf("evictions (%d) + live (%d) = %d, want %d inserts",
+			c.Evictions(), c.Len(), got, keys)
+	}
+
+	// Evicted keys are recomputed to the same deterministic value: the
+	// bounded cache must agree with an unbounded one on every estimate.
+	u := NewCache(inner)
+	for i := 0; i < keys; i++ {
+		q, m := qs[i%len(qs)], query.BitSet(1+i/len(qs))
+		if bv, uv := c.EstimateSubset(q, m), u.EstimateSubset(q, m); bv != uv {
+			t.Fatalf("key %d: bounded %v != unbounded %v", i, bv, uv)
+		}
+	}
+
+	c.Reset()
+	if c.Len() != 0 || c.Evictions() != 0 {
+		t.Fatalf("reset left len=%d evictions=%d", c.Len(), c.Evictions())
+	}
+}
+
+func TestCacheBoundedDeterministicEviction(t *testing.T) {
+	// The same insertion sequence must leave two bounded caches in the same
+	// state: identical live-key sets and eviction counts (FIFO per shard is
+	// a pure function of the insertion order).
+	inner := FuncEstimator{Label: "d", Fn: func(q *query.Query, m query.BitSet) float64 {
+		return float64(q.Fingerprint()^uint64(m)) / 3
+	}}
+	qs := cacheFixtureQueries()
+	run := func() (*Cache, int64) {
+		c := NewCacheBounded(inner, nil, 128)
+		for i := 0; i < 600; i++ {
+			c.EstimateSubset(qs[i%len(qs)], query.BitSet(1+i/len(qs)))
+		}
+		return c, c.Evictions()
+	}
+	c1, ev1 := run()
+	c2, ev2 := run()
+	if ev1 != ev2 || c1.Len() != c2.Len() {
+		t.Fatalf("eviction diverged across identical runs: %d/%d entries, %d/%d evictions",
+			c1.Len(), c2.Len(), ev1, ev2)
+	}
+	// Replay: the same keys must hit/miss identically in both caches.
+	h1, m1 := c1.Stats()
+	h2, m2 := c2.Stats()
+	if h1 != h2 || m1 != m2 {
+		t.Fatalf("hit/miss diverged: %d/%d vs %d/%d", h1, m1, h2, m2)
+	}
+}
+
+func TestCacheBoundedConcurrent(t *testing.T) {
+	inner := FuncEstimator{Label: "c", Fn: func(q *query.Query, m query.BitSet) float64 {
+		return float64(m) * 5
+	}}
+	c := NewCacheBounded(inner, nil, 32)
+	qs := cacheFixtureQueries()
+	var wg sync.WaitGroup
+	bad := atomic.Bool{}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				q := qs[i%len(qs)]
+				m := query.BitSet(1 + i%50)
+				if c.EstimateSubset(q, m) != float64(m)*5 {
+					bad.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if bad.Load() {
+		t.Fatal("concurrent bounded cache returned a wrong value")
+	}
+	if c.Len() > 64 { // 32 requested -> 1 per shard, 64 shards ceiling
+		t.Fatalf("bounded cache overflowed: %d entries", c.Len())
+	}
+}
+
 func TestLockedSerializes(t *testing.T) {
 	// a deliberately racy inner estimator: Locked must make it safe
 	counter := 0

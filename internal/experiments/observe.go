@@ -265,6 +265,9 @@ type BenchSnapshot struct {
 	// Exec is the scalar-vs-batch executor benchmark, attached when the
 	// caller runs it.
 	Exec *ExecBenchResult `json:"exec_bench,omitempty"`
+	// Server is the multi-tenant serving benchmark (throughput, latency
+	// percentiles, mid-run hot-swap), attached when the caller runs it.
+	Server *ServerBenchResult `json:"server_bench,omitempty"`
 }
 
 // Snapshot reduces the observability result to the perf snapshot.

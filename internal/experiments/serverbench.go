@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/engine"
+	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/server"
+	"github.com/lpce-db/lpce/internal/workload"
+)
+
+// ServerBenchResult is the serving-subsystem benchmark recorded in
+// BENCH_e2e.json: the environment's low-join suite pushed through the full
+// internal/server path — HTTP-free but otherwise end to end: admission,
+// sessions, SQL re-parse, per-tenant caches — by concurrent workers across
+// two tenants, with one model hot-swap landing mid-run. Latency is
+// client-observed (admission wait included).
+type ServerBenchResult struct {
+	Tenants int `json:"tenants"`
+	Workers int `json:"workers"`
+	Queries int `json:"queries"`
+	// Swaps counts model hot-swaps during the run (at least 1: the mid-run
+	// swap is part of the scenario, not an option).
+	Swaps       int64   `json:"swaps"`
+	WallSeconds float64 `json:"wall_seconds"`
+	QPS         float64 `json:"qps"`
+	P50Millis   float64 `json:"p50_ms"`
+	P99Millis   float64 `json:"p99_ms"`
+	// Errors counts queries that failed through the server; the bench gate
+	// fails on any, since the same queries succeed on a bare engine.
+	Errors int `json:"errors"`
+	// CountsIdentical asserts every served COUNT(*) matched the bare
+	// engine's answer for the same query — the serving layers (admission,
+	// caching, sessions, swap) must be semantically invisible.
+	CountsIdentical bool `json:"counts_identical"`
+}
+
+// ServerBench measures multi-tenant serving throughput and latency
+// percentiles over the environment's LPCE-R stack.
+func ServerBench(e *Env, workers int) (*ServerBenchResult, error) {
+	if workers < 1 {
+		workers = 1
+	}
+	var queries []*query.Query
+	for i := 0; i < 4; i++ { // repeats exercise the prepared-statement and estimate caches
+		queries = append(queries, e.JoinLow...)
+	}
+	n := len(queries)
+	if n == 0 {
+		return nil, fmt.Errorf("serverbench: environment has no workload")
+	}
+
+	// Bare-engine oracle counts, serial.
+	eng := engine.New(e.DB)
+	oracle := make([]int, n)
+	for i, q := range queries {
+		res, err := eng.Execute(q, engine.Config{Estimator: e.LPCEIEstimator(), Refiner: e.Refiner})
+		if err != nil {
+			return nil, fmt.Errorf("serverbench: oracle query %d: %w", i, err)
+		}
+		oracle[i] = res.Count
+	}
+
+	srv, err := server.New(server.Config{
+		DB:            e.DB,
+		Enc:           e.Enc,
+		Mode:          server.ModeLPCER,
+		Models:        e.ModelSet(),
+		ModelsVersion: "bench-v1",
+		Tenants: []server.TenantConfig{
+			{Name: "alpha", Weight: 1},
+			{Name: "beta", Weight: 1},
+		},
+		MaxConcurrent:  int64(workers),
+		MaxQueue:       2 * n,
+		DefaultTimeout: 5 * time.Minute,
+		CacheCapacity:  65536,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close(context.Background())
+
+	var (
+		done      atomic.Int64
+		swapOnce  sync.Once
+		mu        sync.Mutex
+		latencies = make([]float64, 0, n)
+		errCount  int
+		identical = true
+	)
+	start := time.Now()
+	workload.RunEach(context.Background(), n, workers, func(i int) error {
+		tenant := []string{"alpha", "beta"}[i%2]
+		qStart := time.Now()
+		res, err := srv.Query(context.Background(), server.QueryRequest{
+			Tenant:  tenant,
+			Session: fmt.Sprintf("%s-%d", tenant, i%workers),
+			SQL:     queries[i].SQL(),
+		})
+		lat := time.Since(qStart)
+		mu.Lock()
+		latencies = append(latencies, float64(lat)/float64(time.Millisecond))
+		if err != nil {
+			errCount++
+		} else if res.Count != oracle[i] {
+			identical = false
+		}
+		mu.Unlock()
+		// Halfway through, hot-swap to a freshly-wired serving set of the
+		// same models: the swap itself is the thing under test.
+		if done.Add(1) == int64(n/2) {
+			swapOnce.Do(func() {
+				srv.InstallEstimator("bench-v2", e.LPCEIEstimator(), e.Refiner)
+			})
+		}
+		return nil
+	})
+	wall := time.Since(start)
+
+	sort.Float64s(latencies)
+	r := &ServerBenchResult{
+		Tenants:         2,
+		Workers:         workers,
+		Queries:         n,
+		Swaps:           srv.MetricsSnapshot().Counters["server.model_swaps"],
+		WallSeconds:     wall.Seconds(),
+		QPS:             float64(n) / wall.Seconds(),
+		P50Millis:       Percentile(latencies, 0.50),
+		P99Millis:       Percentile(latencies, 0.99),
+		Errors:          errCount,
+		CountsIdentical: identical && errCount == 0,
+	}
+	return r, nil
+}

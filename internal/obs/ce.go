@@ -3,6 +3,7 @@ package obs
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/lpce-db/lpce/internal/query"
 )
@@ -21,6 +22,12 @@ type ceKey struct {
 // nil recorder ignores all operations.
 type CERecorder struct {
 	estimator string
+	// limit, when > 0, caps the tracked keys: estimates for new keys beyond
+	// it are dropped (existing keys still overwrite), so a long-running
+	// process keeps a bounded evaluation table instead of growing one entry
+	// per distinct sub-plan forever.
+	limit   atomic.Int64
+	dropped atomic.Int64
 
 	mu   sync.Mutex
 	ests map[ceKey]float64
@@ -34,8 +41,15 @@ func (r *CERecorder) RecordEstimate(fingerprint uint64, mask query.BitSet, est f
 	if r == nil {
 		return
 	}
+	k := ceKey{fingerprint, mask}
+	lim := r.limit.Load()
 	r.mu.Lock()
-	r.ests[ceKey{fingerprint, mask}] = est
+	if _, ok := r.ests[k]; !ok && lim > 0 && int64(len(r.ests)) >= lim {
+		r.mu.Unlock()
+		r.dropped.Add(1)
+		return
+	}
+	r.ests[k] = est
 	r.mu.Unlock()
 }
 
@@ -57,6 +71,9 @@ type CEEval struct {
 	mu    sync.Mutex
 	recs  map[string]*CERecorder
 	trues map[ceKey]float64
+	// limit, when > 0, caps trues and every recorder's estimate table; see
+	// SetCap.
+	limit int64
 }
 
 // NewCEEval returns an empty evaluator.
@@ -75,9 +92,26 @@ func (e *CEEval) Recorder(estimator string) *CERecorder {
 	r, ok := e.recs[estimator]
 	if !ok {
 		r = &CERecorder{estimator: estimator, ests: make(map[ceKey]float64)}
+		r.limit.Store(e.limit)
 		e.recs[estimator] = r
 	}
 	return r
+}
+
+// SetCap bounds the evaluation tables: at most n true cardinalities and n
+// estimates per recorder are tracked; further new keys are dropped (existing
+// keys still update). 0 restores unbounded growth. Long-running processes
+// set a cap so CE evaluation samples the stream instead of indexing it.
+func (e *CEEval) SetCap(n int) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	e.limit = int64(n)
+	for _, r := range e.recs {
+		r.limit.Store(int64(n))
+	}
+	e.mu.Unlock()
 }
 
 // RecordTrue stores the exact cardinality observed for one (query, subset)
@@ -86,8 +120,13 @@ func (e *CEEval) RecordTrue(fingerprint uint64, mask query.BitSet, card float64)
 	if e == nil {
 		return
 	}
+	k := ceKey{fingerprint, mask}
 	e.mu.Lock()
-	e.trues[ceKey{fingerprint, mask}] = card
+	if _, ok := e.trues[k]; !ok && e.limit > 0 && int64(len(e.trues)) >= e.limit {
+		e.mu.Unlock()
+		return
+	}
+	e.trues[k] = card
 	e.mu.Unlock()
 }
 

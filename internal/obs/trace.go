@@ -190,6 +190,11 @@ type Observer struct {
 
 	mu     sync.Mutex
 	traces []*QueryTrace
+	// traceCap, when > 0, bounds the retained traces: once full, publishing
+	// a new trace drops the oldest. Long-running processes set it so an
+	// observer over millions of queries keeps a window, not a leak.
+	traceCap int
+	dropped  int64
 }
 
 // NewObserver returns an observer with a fresh registry and CE evaluator.
@@ -223,6 +228,32 @@ func (o *Observer) NewQueryTrace(fingerprint uint64, estimator string) *QueryTra
 	return &QueryTrace{Fingerprint: fingerprint, Estimator: estimator}
 }
 
+// SetTraceCap bounds the retained query traces to the most recent n; 0
+// restores the default unbounded retention. The metrics registry and CE
+// evaluation are unaffected — only the per-query trace window is bounded.
+func (o *Observer) SetTraceCap(n int) {
+	if o == nil {
+		return
+	}
+	o.mu.Lock()
+	o.traceCap = n
+	if n > 0 && len(o.traces) > n {
+		o.dropped += int64(len(o.traces) - n)
+		o.traces = append([]*QueryTrace(nil), o.traces[len(o.traces)-n:]...)
+	}
+	o.mu.Unlock()
+}
+
+// DroppedTraces returns how many traces the cap has discarded.
+func (o *Observer) DroppedTraces() int64 {
+	if o == nil {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.dropped
+}
+
 // Observe publishes a finished query trace for aggregation.
 func (o *Observer) Observe(t *QueryTrace) {
 	if o == nil || t == nil {
@@ -230,6 +261,15 @@ func (o *Observer) Observe(t *QueryTrace) {
 	}
 	o.mu.Lock()
 	o.traces = append(o.traces, t)
+	if o.traceCap > 0 && len(o.traces) > o.traceCap {
+		over := len(o.traces) - o.traceCap
+		o.dropped += int64(over)
+		// Shift in place; traces are pointers, so the copy is cheap, and
+		// re-slicing from the front would pin dropped traces in the backing
+		// array forever.
+		copy(o.traces, o.traces[over:])
+		o.traces = o.traces[:o.traceCap]
+	}
 	o.mu.Unlock()
 }
 

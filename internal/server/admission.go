@@ -1,0 +1,243 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"github.com/lpce-db/lpce/internal/obs"
+)
+
+// Typed admission errors. The HTTP layer maps them to status codes (429 and
+// 503); embedded callers match them with errors.Is.
+var (
+	// ErrQueueFull rejects an admission because the bounded wait queue is
+	// already at capacity — the server is overloaded and sheds load instead
+	// of buffering unboundedly (HTTP 429).
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrClosed rejects an admission because the server is shutting down
+	// (HTTP 503). In-flight queries keep running; only new work is refused.
+	ErrClosed = errors.New("server: shutting down")
+)
+
+// admitter is a weighted semaphore with a bounded FIFO wait queue: the
+// admission-control core. Each tenant acquires its configured weight per
+// query, so heavier tenants occupy more of the shared capacity and one
+// tenant's burst cannot starve the rest beyond its weight share. When the
+// capacity is exhausted, up to maxQueue acquisitions wait in arrival order;
+// the queue overflowing rejects immediately with ErrQueueFull rather than
+// buffering every caller the network can deliver.
+type admitter struct {
+	mu      sync.Mutex
+	cap     int64
+	used    int64
+	queue   []*waiter
+	maxWait int
+	closed  bool
+	// drained is closed when the admitter is closed AND the last in-flight
+	// weight is released; Close waits on it to drain.
+	drained chan struct{}
+
+	// metrics (nil-safe, interned by the owning server)
+	inflight *obs.Gauge
+	queued   *obs.Gauge
+	admitted *obs.Counter
+	rejected *obs.Counter
+	shedded  *obs.Counter // rejected because closed
+}
+
+type waiter struct {
+	weight int64
+	ready  chan struct{} // closed on grant
+	err    error         // set before ready is closed on failure
+	// abandoned marks a waiter whose context expired; the granter skips it.
+	abandoned bool
+}
+
+func newAdmitter(capacity int64, maxWait int, reg *obs.Registry) *admitter {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	if maxWait < 0 {
+		maxWait = 0
+	}
+	return &admitter{
+		cap:      capacity,
+		maxWait:  maxWait,
+		drained:  make(chan struct{}),
+		inflight: reg.Gauge("server.admission.inflight_weight"),
+		queued:   reg.Gauge("server.admission.queued"),
+		admitted: reg.Counter("server.admission.admitted"),
+		rejected: reg.Counter("server.admission.rejected_queue_full"),
+		shedded:  reg.Counter("server.admission.rejected_closed"),
+	}
+}
+
+// acquire blocks until weight units of capacity are granted, the context is
+// done, or the server closes. Weights above the total capacity are clamped
+// to it so a misconfigured tenant degrades to exclusive access instead of
+// deadlocking. The caller must release(weight) exactly once on success.
+func (a *admitter) acquire(ctx context.Context, weight int64) error {
+	if weight <= 0 {
+		weight = 1
+	}
+	a.mu.Lock()
+	if weight > a.cap {
+		weight = a.cap
+	}
+	switch {
+	case a.closed:
+		a.mu.Unlock()
+		a.shedded.Inc()
+		return ErrClosed
+	case len(a.queue) == 0 && a.used+weight <= a.cap:
+		a.used += weight
+		a.inflight.Set(float64(a.used))
+		a.mu.Unlock()
+		a.admitted.Inc()
+		return nil
+	case len(a.queue) >= a.maxWait:
+		a.mu.Unlock()
+		a.rejected.Inc()
+		return ErrQueueFull
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.queued.Set(float64(len(a.queue)))
+	a.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		if w.err != nil {
+			a.shedded.Inc()
+			return w.err
+		}
+		a.admitted.Inc()
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		select {
+		case <-w.ready:
+			// The grant raced the deadline; keep it — the caller's engine
+			// context will surface the expiry immediately, releasing cleanly.
+			a.mu.Unlock()
+			if w.err != nil {
+				a.shedded.Inc()
+				return w.err
+			}
+			a.admitted.Inc()
+			return nil
+		default:
+			w.abandoned = true
+			a.compactQueue()
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+	}
+}
+
+// release returns weight units and promotes queued waiters in FIFO order.
+func (a *admitter) release(weight int64) {
+	if weight <= 0 {
+		weight = 1
+	}
+	a.mu.Lock()
+	if weight > a.cap {
+		weight = a.cap
+	}
+	a.used -= weight
+	if a.used < 0 {
+		a.used = 0
+	}
+	a.promote()
+	a.inflight.Set(float64(a.used))
+	a.queued.Set(float64(len(a.queue)))
+	done := a.closed && a.used == 0
+	a.mu.Unlock()
+	if done {
+		a.signalDrained()
+	}
+}
+
+// promote grants queued waiters while capacity allows, preserving arrival
+// order (a large waiter at the head blocks smaller ones behind it — FIFO
+// fairness over utilization). Called with the mutex held.
+func (a *admitter) promote() {
+	for len(a.queue) > 0 {
+		w := a.queue[0]
+		if w.abandoned {
+			a.queue = a.queue[1:]
+			continue
+		}
+		if a.used+w.weight > a.cap {
+			return
+		}
+		a.used += w.weight
+		a.queue = a.queue[1:]
+		close(w.ready)
+	}
+	// Reset the backing array when empty so abandoned waiters are not
+	// pinned.
+	if len(a.queue) == 0 {
+		a.queue = nil
+	}
+}
+
+// compactQueue drops abandoned waiters from the queue. Called with the
+// mutex held.
+func (a *admitter) compactQueue() {
+	live := a.queue[:0]
+	for _, w := range a.queue {
+		if !w.abandoned {
+			live = append(live, w)
+		}
+	}
+	for i := len(live); i < len(a.queue); i++ {
+		a.queue[i] = nil
+	}
+	a.queue = live
+	a.queued.Set(float64(len(a.queue)))
+}
+
+// close stops admissions: every queued waiter fails with ErrClosed, new
+// acquisitions are rejected, and the drained channel closes once the last
+// in-flight weight is released.
+func (a *admitter) close() {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return
+	}
+	a.closed = true
+	for _, w := range a.queue {
+		if !w.abandoned {
+			w.err = ErrClosed
+			close(w.ready)
+		}
+	}
+	a.queue = nil
+	a.queued.Set(0)
+	done := a.used == 0
+	a.mu.Unlock()
+	if done {
+		a.signalDrained()
+	}
+}
+
+// signalDrained closes the drained channel exactly once.
+func (a *admitter) signalDrained() {
+	a.mu.Lock()
+	select {
+	case <-a.drained:
+	default:
+		close(a.drained)
+	}
+	a.mu.Unlock()
+}
+
+// stats returns the current in-flight weight and queue length.
+func (a *admitter) stats() (used int64, queued int) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.used, len(a.queue)
+}

@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// Handler returns the server's HTTP/JSON front-end:
+//
+//	POST /query             execute SQL        {tenant, session?, sql, timeout_ms?}
+//	POST /explain           plan without executing (same body)
+//	GET  /healthz           liveness + serving gauges
+//	GET  /metrics           merged global + per-tenant metrics snapshot
+//	POST /admin/models/swap hot-swap model artifacts {dir, version?}
+//
+// Error mapping: parse failures 400, unknown tenant 404, admission-queue
+// overflow 429, shutdown 503, deadline 504, resource-limit degradation 422,
+// anything else 500. Every error body is {"error": "..."}.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/explain", s.handleExplain)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/admin/models/swap", s.handleSwap)
+	return mux
+}
+
+// queryBody is the wire form of QueryRequest; the timeout travels as
+// integer milliseconds so clients never format durations.
+type queryBody struct {
+	Tenant    string `json:"tenant"`
+	Session   string `json:"session,omitempty"`
+	SQL       string `json:"sql"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+func (b queryBody) request() QueryRequest {
+	return QueryRequest{
+		Tenant:  b.Tenant,
+		Session: b.Session,
+		SQL:     b.SQL,
+		Timeout: time.Duration(b.TimeoutMS) * time.Millisecond,
+	}
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var body queryBody
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	res, err := s.Query(r.Context(), body.request())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	var body queryBody
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	plan, err := s.Explain(r.Context(), body.request())
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"plan": plan})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	h := s.Health()
+	code := http.StatusOK
+	if h.Status != "ok" {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, h)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "GET only"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+func (s *Server) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var body struct {
+		Dir     string `json:"dir"`
+		Version string `json:"version,omitempty"`
+	}
+	if !decodeBody(w, r, &body) {
+		return
+	}
+	if body.Dir == "" {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "dir is required"})
+		return
+	}
+	old, cur, err := s.SwapModels(body.Dir, body.Version)
+	if err != nil {
+		writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"old": old, "current": cur})
+}
+
+// decodeBody parses a POST JSON body, writing the error response itself on
+// failure.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return false
+	}
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad request body: " + err.Error()})
+		return false
+	}
+	return true
+}
+
+// writeError maps a serving error to its HTTP status.
+func writeError(w http.ResponseWriter, err error) {
+	writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
+}
+
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBadQuery):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrUnknownTenant):
+		return http.StatusNotFound
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrClosed):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case isResourceErr(err):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

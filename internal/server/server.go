@@ -1,0 +1,472 @@
+// Package server is the long-running multi-tenant SQL serving subsystem: it
+// wraps the single-query engine.Engine in everything a resident process
+// needs — admission control with load shedding, per-tenant namespaces
+// (estimate caches, resource limits, metrics), sessions with parse-once
+// prepared statements, zero-downtime model hot-swap, and graceful
+// drain-on-shutdown. The engine stays a pure library; this package owns all
+// the lifecycle.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/cardest"
+	"github.com/lpce-db/lpce/internal/encode"
+	"github.com/lpce-db/lpce/internal/engine"
+	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/modelio"
+	"github.com/lpce-db/lpce/internal/obs"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// ErrUnknownTenant rejects a request naming a tenant the server was not
+// configured with (HTTP 404).
+var ErrUnknownTenant = errors.New("server: unknown tenant")
+
+// ErrBadQuery wraps SQL parse failures so transport layers can classify
+// them as client errors (HTTP 400) without string matching.
+var ErrBadQuery = errors.New("server: bad query")
+
+// TenantConfig declares one tenant's namespace: its admission weight (share
+// of the concurrency capacity one of its queries occupies) and its
+// per-query resource limits.
+type TenantConfig struct {
+	Name   string
+	Weight int64         // admission weight per query; <=0 means 1
+	Limits engine.Limits // per-query resource limits for this tenant
+}
+
+// Config configures a Server. DB and at least one tenant are required.
+type Config struct {
+	DB  *storage.Database
+	Enc *encode.Encoder // required for model modes and hot-swap
+
+	// Mode selects the serving estimator stack: ModeHistogram, ModeLPCE, or
+	// ModeLPCER. Empty defaults to ModeHistogram without Models and ModeLPCER
+	// with them.
+	Mode string
+	// Models is the initial model artifact set for the model modes; nil is
+	// valid only for ModeHistogram. Later sets arrive via SwapModels.
+	Models        *modelio.Set
+	ModelsVersion string // label for the initial set ("boot" when empty)
+
+	Tenants []TenantConfig
+
+	// MaxConcurrent is the admission capacity in weight units (default 4).
+	MaxConcurrent int64
+	// MaxQueue bounds the admission wait queue; an overflowing queue rejects
+	// with ErrQueueFull (default 16; negative means no queueing at all).
+	MaxQueue int
+	// DefaultTimeout bounds each query's wall time when the request carries
+	// no tighter deadline (default 30s).
+	DefaultTimeout time.Duration
+	// SessionTTL expires idle sessions (default 15m).
+	SessionTTL time.Duration
+	// CacheCapacity bounds each tenant's estimate cache (entries across all
+	// shards); 0 leaves the caches unbounded.
+	CacheCapacity int
+	// TraceCap bounds each tenant observer's retained query traces and CE
+	// evaluation tables (default 4096; negative disables the cap).
+	TraceCap int
+
+	// Engine knobs, applied to every query.
+	Budget       int64
+	ExecWorkers  int
+	ScalarExec   bool
+	OverlayReopt bool
+	// ExecWrap intercepts every executor operator (fault-injection harness).
+	ExecWrap exec.WrapFunc
+}
+
+// tenant is one configured namespace at runtime.
+type tenant struct {
+	name   string
+	weight int64
+	limits engine.Limits
+	// obs is the tenant's private observer: metrics, traces, and CE
+	// evaluation accumulate here and surface under "tenant.<name>." in the
+	// merged snapshot. Isolation means one tenant's workload cannot perturb
+	// another's numbers.
+	obs *obs.Observer
+
+	queries  *obs.Counter
+	errs     *obs.Counter
+	degraded *obs.Counter
+	latency  *obs.Histogram
+}
+
+// Server is a resident multi-tenant SQL serving process over one database.
+// All methods are safe for concurrent use.
+type Server struct {
+	cfg     Config
+	eng     *engine.Engine
+	tenants map[string]*tenant
+	adm     *admitter
+	sess    *sessionTable
+	models  atomic.Pointer[servingSet]
+
+	// global holds server-wide (tenant-independent) metrics.
+	global *obs.Observer
+	swaps  *obs.Counter
+
+	// baseCtx is cancelled only on forced shutdown; every query context is
+	// additionally bound to it via context.AfterFunc, so a drain deadline
+	// can cut in-flight queries loose cooperatively.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	janitorStop chan struct{}
+	janitorDone chan struct{}
+	closed      atomic.Bool
+}
+
+// New validates the configuration, builds the per-tenant namespaces,
+// installs the initial serving set, and starts the session janitor.
+func New(cfg Config) (*Server, error) {
+	if cfg.DB == nil {
+		return nil, fmt.Errorf("server: Config.DB is required")
+	}
+	if len(cfg.Tenants) == 0 {
+		return nil, fmt.Errorf("server: at least one tenant is required")
+	}
+	if cfg.MaxConcurrent <= 0 {
+		cfg.MaxConcurrent = 4
+	}
+	if cfg.MaxQueue == 0 {
+		cfg.MaxQueue = 16
+	}
+	if cfg.MaxQueue < 0 {
+		cfg.MaxQueue = 0
+	}
+	if cfg.DefaultTimeout <= 0 {
+		cfg.DefaultTimeout = 30 * time.Second
+	}
+	if cfg.TraceCap == 0 {
+		cfg.TraceCap = 4096
+	}
+	if cfg.TraceCap < 0 {
+		cfg.TraceCap = 0
+	}
+
+	s := &Server{
+		cfg:         cfg,
+		eng:         engine.New(cfg.DB),
+		tenants:     make(map[string]*tenant, len(cfg.Tenants)),
+		global:      obs.NewObserver(),
+		janitorStop: make(chan struct{}),
+		janitorDone: make(chan struct{}),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	reg := s.global.Registry()
+	s.swaps = reg.Counter("server.model_swaps")
+	s.adm = newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue, reg)
+	s.sess = newSessionTable(cfg.SessionTTL, reg)
+
+	for _, tc := range cfg.Tenants {
+		if tc.Name == "" {
+			return nil, fmt.Errorf("server: tenant with empty name")
+		}
+		if _, dup := s.tenants[tc.Name]; dup {
+			return nil, fmt.Errorf("server: duplicate tenant %q", tc.Name)
+		}
+		if tc.Weight <= 0 {
+			tc.Weight = 1
+		}
+		to := obs.NewObserver()
+		to.SetTraceCap(cfg.TraceCap)
+		to.CE().SetCap(cfg.TraceCap)
+		treg := to.Registry()
+		s.tenants[tc.Name] = &tenant{
+			name:     tc.Name,
+			weight:   tc.Weight,
+			limits:   tc.Limits,
+			obs:      to,
+			queries:  treg.Counter("server.queries"),
+			errs:     treg.Counter("server.query_errors"),
+			degraded: treg.Counter("server.queries_degraded"),
+			latency:  treg.Histogram("server.query_ms"),
+		}
+	}
+
+	initial, err := s.setFromArtifacts(initialVersion(cfg.ModelsVersion), cfg.Models)
+	if err != nil {
+		return nil, err
+	}
+	s.models.Store(initial)
+
+	go s.janitor()
+	return s, nil
+}
+
+func initialVersion(v string) string {
+	if v == "" {
+		return "boot"
+	}
+	return v
+}
+
+// janitor periodically expires idle sessions until Close stops it.
+func (s *Server) janitor() {
+	defer close(s.janitorDone)
+	interval := s.sess.ttl / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case now := <-t.C:
+			s.sess.sweep(now)
+		}
+	}
+}
+
+// QueryRequest is one SQL execution request.
+type QueryRequest struct {
+	Tenant  string        `json:"tenant"`
+	Session string        `json:"session,omitempty"` // empty = stateless, no prepared-statement reuse
+	SQL     string        `json:"sql"`
+	Timeout time.Duration `json:"-"` // <=0 uses the server default
+}
+
+// QueryResult is one successful execution's outcome.
+type QueryResult struct {
+	Count        int           `json:"count"`
+	Reopts       int           `json:"reopts"`
+	TimedOut     bool          `json:"timed_out,omitempty"`
+	Prepared     bool          `json:"prepared"` // statement served from the session cache
+	ModelVersion string        `json:"model_version"`
+	Estimator    string        `json:"estimator"`
+	Elapsed      time.Duration `json:"elapsed_ns"`
+}
+
+// Query admits, prepares, and executes one SQL statement for a tenant.
+// Admission failures surface as ErrQueueFull / ErrClosed; unknown tenants
+// as ErrUnknownTenant; parse errors and engine errors pass through typed.
+func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResult, error) {
+	tn, ok := s.tenants[req.Tenant]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, req.Tenant)
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	qctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	// Bind the query to the server lifecycle: a forced shutdown cancels
+	// baseCtx, which cancels every in-flight query cooperatively.
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	if err := s.adm.acquire(qctx, tn.weight); err != nil {
+		return nil, err
+	}
+	defer s.adm.release(tn.weight)
+
+	// One atomic load fixes the serving set for this query: estimator,
+	// refiner, and cache are mutually consistent even if a swap lands
+	// mid-flight.
+	ms := s.models.Load()
+
+	sess := s.sess.get(req.Tenant, req.Session)
+	q, hit, err := sess.prepare(s.cfg.DB.Schema, req.SQL)
+	if err != nil {
+		return nil, err
+	}
+
+	start := time.Now()
+	res, err := s.eng.ExecuteContext(qctx, q, engine.Config{
+		Estimator:    ms.caches[tn.name],
+		Refiner:      ms.refiner,
+		OverlayReopt: ms.overlay,
+		Budget:       s.cfg.Budget,
+		Obs:          tn.obs,
+		Limits:       tn.limits,
+		ExecWrap:     s.cfg.ExecWrap,
+		ScalarExec:   s.cfg.ScalarExec,
+		ExecWorkers:  s.cfg.ExecWorkers,
+	})
+	elapsed := time.Since(start)
+	tn.queries.Inc()
+	tn.latency.Observe(float64(elapsed) / float64(time.Millisecond))
+	if err != nil {
+		tn.errs.Inc()
+		if isResourceErr(err) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			tn.degraded.Inc()
+		}
+		return nil, err
+	}
+	return &QueryResult{
+		Count:        res.Count,
+		Reopts:       res.Reopts,
+		TimedOut:     res.TimedOut,
+		Prepared:     hit,
+		ModelVersion: ms.version,
+		Estimator:    ms.estName,
+		Elapsed:      elapsed,
+	}, nil
+}
+
+// Explain admits and plans (but does not execute) one SQL statement,
+// returning the optimizer's chosen plan under the tenant's current
+// estimator stack.
+func (s *Server) Explain(ctx context.Context, req QueryRequest) (string, error) {
+	tn, ok := s.tenants[req.Tenant]
+	if !ok {
+		return "", fmt.Errorf("%w: %q", ErrUnknownTenant, req.Tenant)
+	}
+	timeout := req.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	qctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	if err := s.adm.acquire(qctx, tn.weight); err != nil {
+		return "", err
+	}
+	defer s.adm.release(tn.weight)
+
+	ms := s.models.Load()
+	sess := s.sess.get(req.Tenant, req.Session)
+	q, _, err := sess.prepare(s.cfg.DB.Schema, req.SQL)
+	if err != nil {
+		return "", err
+	}
+	return s.eng.Explain(q, ms.caches[tn.name])
+}
+
+// Close drains and shuts the server down: new admissions are refused
+// immediately, queued waiters fail with ErrClosed, and in-flight queries
+// run to completion. If ctx expires before the drain completes, in-flight
+// queries are cancelled cooperatively (they observe context.Canceled) and
+// Close still waits for them to unwind — it never returns with queries
+// running. Safe to call more than once.
+func (s *Server) Close(ctx context.Context) error {
+	if !s.closed.CompareAndSwap(false, true) {
+		<-s.adm.drained
+		<-s.janitorDone
+		return nil
+	}
+	s.adm.close()
+	var err error
+	select {
+	case <-s.adm.drained:
+	case <-ctx.Done():
+		// Forced: cut the in-flight queries loose and wait for the unwind.
+		err = ctx.Err()
+		s.baseCancel()
+		<-s.adm.drained
+	}
+	s.baseCancel()
+	close(s.janitorStop)
+	<-s.janitorDone
+	return err
+}
+
+// Tenants returns the configured tenant names (order unspecified).
+func (s *Server) Tenants() []string {
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	return names
+}
+
+// TenantObserver returns the named tenant's observer (nil for unknown
+// tenants) — test and embedding hook for per-tenant traces and CE reports.
+func (s *Server) TenantObserver(name string) *obs.Observer {
+	tn, ok := s.tenants[name]
+	if !ok {
+		return nil
+	}
+	return tn.obs
+}
+
+// TenantCache returns the named tenant's current estimate cache (nil for
+// unknown tenants). The cache belongs to the current serving set and is
+// replaced wholesale on hot-swap.
+func (s *Server) TenantCache(name string) *cardest.Cache {
+	ms := s.models.Load()
+	if ms == nil {
+		return nil
+	}
+	return ms.caches[name]
+}
+
+// MetricsSnapshot merges the server-wide registry with every tenant's
+// registry, the tenant metrics prefixed "tenant.<name>.", so one scrape
+// shows global admission state next to per-tenant attribution.
+func (s *Server) MetricsSnapshot() obs.MetricsSnapshot {
+	out := s.global.Registry().Snapshot()
+	if out.Counters == nil {
+		out.Counters = map[string]int64{}
+	}
+	if out.Gauges == nil {
+		out.Gauges = map[string]float64{}
+	}
+	if out.Histograms == nil {
+		out.Histograms = map[string]obs.HistSummary{}
+	}
+	for name, tn := range s.tenants {
+		snap := tn.obs.Registry().Snapshot()
+		prefix := "tenant." + name + "."
+		for k, v := range snap.Counters {
+			out.Counters[prefix+k] = v
+		}
+		for k, v := range snap.Gauges {
+			out.Gauges[prefix+k] = v
+		}
+		for k, v := range snap.Histograms {
+			out.Histograms[prefix+k] = v
+		}
+	}
+	return out
+}
+
+// Health is the healthz payload.
+type Health struct {
+	Status       string `json:"status"` // "ok" or "closing"
+	ModelVersion string `json:"model_version"`
+	Inflight     int64  `json:"inflight_weight"`
+	Queued       int    `json:"queued"`
+	Sessions     int    `json:"sessions"`
+	Tenants      int    `json:"tenants"`
+}
+
+// isResourceErr reports whether err is a typed per-query resource-limit
+// violation (graceful degradation, not a server fault).
+func isResourceErr(err error) bool {
+	var re *exec.ResourceError
+	return errors.As(err, &re)
+}
+
+// Health reports liveness and the key serving gauges.
+func (s *Server) Health() Health {
+	used, queued := s.adm.stats()
+	status := "ok"
+	if s.closed.Load() {
+		status = "closing"
+	}
+	return Health{
+		Status:       status,
+		ModelVersion: s.ModelVersion(),
+		Inflight:     used,
+		Queued:       queued,
+		Sessions:     s.sess.count(),
+		Tenants:      len(s.tenants),
+	}
+}
