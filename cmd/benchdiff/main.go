@@ -129,7 +129,10 @@ func compare(w *os.File, base, cand *experiments.BenchSnapshot, maxRegress, minS
 
 // checkServer gates the multi-tenant serving benchmark. Invariants within
 // the candidate: served counts must match the bare engine, no query may
-// error, and the mid-run hot-swap must actually have happened. Against the
+// error, the mid-run hot-swap must actually have happened, and — when the
+// run used a rate-limited config (RateQPS > 0) — every submitted query must
+// have been served (client backoff parity) with exact served+shed
+// accounting. Against the
 // baseline (when it carries the benchmark): serving wall time must not
 // regress beyond the usual threshold, with the same sub-minSeconds slack as
 // every other wall comparison. A candidate that silently drops the
@@ -156,8 +159,26 @@ func checkServer(w *os.File, base, cand *experiments.ServerBenchResult, maxRegre
 		fmt.Fprintf(w, "server bench: no mid-run hot-swap happened  REGRESSION\n")
 		failures++
 	}
-	fmt.Fprintf(w, "server bench: %d queries / %d tenants / %d workers: %.0f qps, p50 %.2fms, p99 %.2fms, %d swaps, counts identical: %v\n",
-		cand.Queries, cand.Tenants, cand.Workers, cand.QPS, cand.P50Millis, cand.P99Millis, cand.Swaps, cand.CountsIdentical)
+	// Overload-control gates, armed when the run used a rate-limited config:
+	// client backoff must absorb every shed (served-count parity with the
+	// submitted workload), and the served/shed split must account for every
+	// query exactly — a query that vanished without being served or counted
+	// as shed is a bug in the admission path, not load.
+	if cand.RateQPS > 0 {
+		if cand.Served != cand.Queries {
+			fmt.Fprintf(w, "server bench: served %d of %d queries under rate limiting (backoff failed to absorb sheds)  REGRESSION\n",
+				cand.Served, cand.Queries)
+			failures++
+		}
+		if cand.Served+cand.Shed != cand.Queries {
+			fmt.Fprintf(w, "server bench: served %d + shed %d != %d queries (inexact shed accounting)  REGRESSION\n",
+				cand.Served, cand.Shed, cand.Queries)
+			failures++
+		}
+	}
+	fmt.Fprintf(w, "server bench: %d queries / %d tenants / %d workers: %.0f qps, p50 %.2fms, p99 %.2fms, %d swaps, %d served, %d shed, %d retries, %d rate-limit hits (bucket %0.f qps burst %d), counts identical: %v\n",
+		cand.Queries, cand.Tenants, cand.Workers, cand.QPS, cand.P50Millis, cand.P99Millis,
+		cand.Swaps, cand.Served, cand.Shed, cand.Retries, cand.RateLimitHits, cand.RateQPS, cand.RateBurst, cand.CountsIdentical)
 	if base != nil {
 		failures += checkWall(w, "server", "serve wall", base.WallSeconds, cand.WallSeconds, maxRegress, minSeconds)
 	}

@@ -289,10 +289,15 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 				return err
 			}
 			snap.Server = sb
-			fmt.Fprintf(w, "server bench: %d queries, %d tenants, %d workers: %.0f qps, p50 %.2fms, p99 %.2fms, %d swaps, counts identical: %v\n",
-				sb.Queries, sb.Tenants, sb.Workers, sb.QPS, sb.P50Millis, sb.P99Millis, sb.Swaps, sb.CountsIdentical)
+			fmt.Fprintf(w, "server bench: %d queries, %d tenants, %d workers (bucket %.0f qps burst %d): %.0f qps, p50 %.2fms, p99 %.2fms, %d swaps, %d served, %d shed, %d retries, %d rate-limit hits, counts identical: %v\n",
+				sb.Queries, sb.Tenants, sb.Workers, sb.RateQPS, sb.RateBurst,
+				sb.QPS, sb.P50Millis, sb.P99Millis, sb.Swaps, sb.Served, sb.Shed,
+				sb.Retries, sb.RateLimitHits, sb.CountsIdentical)
 			if !sb.CountsIdentical {
 				return fmt.Errorf("server bench: served results diverge from the bare engine")
+			}
+			if sb.RateQPS > 0 && sb.Served != sb.Queries {
+				return fmt.Errorf("server bench: served %d of %d queries under rate limiting", sb.Served, sb.Queries)
 			}
 			if err := writeJSON(opts.benchOut, snap); err != nil {
 				return err

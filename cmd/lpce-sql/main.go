@@ -6,6 +6,7 @@
 //
 //	lpce-sql [-titles N] [-seed N] [-estimator histogram|lpce|lpce-r]
 //	         [-models-in dir] [-serve addr] [-tenants a:1,b:2]
+//	         [-rate-qps N] [-rate-burst N]
 //
 // Interactive shell commands:
 //
@@ -22,7 +23,8 @@
 // With -serve, the process becomes a resident server exposing POST /query,
 // POST /explain, GET /healthz, GET /metrics, and POST /admin/models/swap,
 // with per-tenant namespaces and admission control; SIGINT/SIGTERM drains
-// in-flight queries before exiting.
+// in-flight queries before exiting. -rate-qps/-rate-burst arm a per-tenant
+// token bucket: excess requests get HTTP 429 with a Retry-After hint.
 package main
 
 import (
@@ -62,6 +64,8 @@ func main() {
 	maxQueue := flag.Int("max-queue", 32, "admission wait-queue bound for -serve")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline for -serve")
 	cacheCap := flag.Int("cache-cap", 65536, "per-tenant estimate-cache capacity for -serve (0 = unbounded)")
+	rateQPS := flag.Float64("rate-qps", 0, "per-tenant sustained request rate for -serve (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "per-tenant token-bucket burst depth for -serve (0 = default)")
 	flag.Parse()
 
 	fmt.Printf("generating database (titles=%d)...\n", *titles)
@@ -83,6 +87,8 @@ func main() {
 			maxQueue:      *maxQueue,
 			timeout:       *timeout,
 			cacheCap:      *cacheCap,
+			rateQPS:       *rateQPS,
+			rateBurst:     *rateBurst,
 		}); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -152,6 +158,8 @@ type serveOptions struct {
 	maxQueue      int
 	timeout       time.Duration
 	cacheCap      int
+	rateQPS       float64
+	rateBurst     int
 }
 
 // parseTenants parses "alpha:2,beta:1" (weight optional, default 1).
@@ -185,6 +193,12 @@ func runServer(db *storage.Database, enc *encode.Encoder, set *modelio.Set, opts
 	tcs, err := parseTenants(opts.tenants)
 	if err != nil {
 		return err
+	}
+	// -rate-qps/-rate-burst apply uniformly to every tenant: the flags set a
+	// per-tenant bucket, not a shared one, matching server.TenantConfig.
+	for i := range tcs {
+		tcs[i].RateQPS = opts.rateQPS
+		tcs[i].RateBurst = opts.rateBurst
 	}
 	srv, err := server.New(server.Config{
 		DB:             db,

@@ -44,6 +44,14 @@ type GuardConfig struct {
 	// 64). A clean probe closes the breaker; a faulty one restarts the
 	// cooldown.
 	Cooldown int
+	// ProbeInterval, when positive, adds a time-based half-open path to the
+	// breaker: an open breaker admits a recovery probe once the interval has
+	// elapsed since the trip (or the last failed probe) even if fewer than
+	// Cooldown fallback calls have arrived. Without it a tripped guard on a
+	// low-traffic path can stay on the fallback long after the inner
+	// estimator's latency recovered — the cooldown is counted in calls, and
+	// the calls may never come.
+	ProbeInterval time.Duration
 	// Registry, when non-nil, interns the guard's counters
 	// (cardest.guard.*) so trips and recoveries surface in obs reports.
 	Registry *obs.Registry
@@ -103,11 +111,13 @@ type Guard struct {
 	inner Estimator
 	cfg   GuardConfig
 
-	mu      sync.Mutex
-	faults  int  // consecutive fault count while closed
-	open    bool // breaker state
-	cool    int  // fallback calls remaining before a probe
-	probing bool // one probe in flight
+	mu        sync.Mutex
+	faults    int       // consecutive fault count while closed
+	open      bool      // breaker state
+	cool      int       // fallback calls remaining before a probe
+	probing   bool      // one probe in flight
+	nextProbe time.Time // earliest time-based half-open probe (ProbeInterval)
+	now       func() time.Time
 
 	stats GuardStats
 
@@ -126,7 +136,7 @@ func NewGuard(inner Estimator, cfg GuardConfig) *Guard {
 	if cfg.Cooldown <= 0 {
 		cfg.Cooldown = 64
 	}
-	g := &Guard{inner: inner, cfg: cfg}
+	g := &Guard{inner: inner, cfg: cfg, now: time.Now}
 	if r := cfg.Registry; r != nil {
 		g.cPanic = r.Counter("cardest.guard.panics")
 		g.cGarbage = r.Counter("cardest.guard.garbage")
@@ -157,7 +167,14 @@ func (g *Guard) EstimateSubset(q *query.Query, mask query.BitSet) float64 {
 	probe := false
 	g.mu.Lock()
 	if g.open {
-		if g.cool > 0 || g.probing {
+		allow := !g.probing && g.cool <= 0
+		if !allow && !g.probing && g.cfg.ProbeInterval > 0 && !g.now().Before(g.nextProbe) {
+			// Half-open by wall clock: enough time has passed since the trip
+			// (or the last failed probe) that the inner estimator deserves a
+			// try, even though the call-counted cooldown has not elapsed.
+			allow = true
+		}
+		if !allow {
 			g.cool--
 			g.stats.FallbackCalls++
 			g.mu.Unlock()
@@ -248,10 +265,12 @@ func (g *Guard) onFault(kind string, probe bool) {
 	case probe:
 		g.probing = false
 		g.cool = g.cfg.Cooldown
+		g.armProbeLocked()
 	case !g.open && g.faults >= g.cfg.TripAfter:
 		g.open = true
 		g.cool = g.cfg.Cooldown
 		g.stats.Trips++
+		g.armProbeLocked()
 		tripped = true
 	}
 	g.mu.Unlock()
@@ -274,10 +293,41 @@ func (g *Guard) onFault(kind string, probe bool) {
 	}
 }
 
+// armProbeLocked schedules the next time-based half-open probe. Called with
+// the mutex held, after a trip or a failed probe.
+func (g *Guard) armProbeLocked() {
+	if g.cfg.ProbeInterval > 0 {
+		g.nextProbe = g.now().Add(g.cfg.ProbeInterval)
+	}
+}
+
 func (g *Guard) emit(kind, detail string) {
 	if g.cfg.OnDegrade != nil {
 		g.cfg.OnDegrade(GuardEvent{Kind: kind, Estimator: g.inner.Name(), Detail: detail})
 	}
+}
+
+// NewFallbackChain builds a load-shedding estimator ladder out of guards:
+// each rung is wrapped in a Guard whose fallback is the next (cheaper) rung,
+// itself guarded, down to cfg.Fallback (or the default Fixed heuristic) at
+// the bottom. NewFallbackChain(cfg, learned, histogram) therefore serves the
+// learned model while it behaves, degrades to the histogram when the learned
+// rung's breaker trips, and degrades again to the heuristic constant if the
+// histogram itself misbehaves — queries keep completing with progressively
+// cheaper plans instead of failing. Every rung shares cfg's breaker tuning
+// and registry (the cardest.guard.* counters aggregate across rungs).
+func NewFallbackChain(cfg GuardConfig, rungs ...Estimator) Estimator {
+	bottom := cfg.Fallback
+	if bottom == nil {
+		bottom = Fixed{Value: 1000, Label: "chain-heuristic"}
+	}
+	var out Estimator = bottom
+	for i := len(rungs) - 1; i >= 0; i-- {
+		c := cfg
+		c.Fallback = out
+		out = NewGuard(rungs[i], c)
+	}
+	return out
 }
 
 // CrossProductBound returns a Bound function for GuardConfig that caps each

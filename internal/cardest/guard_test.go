@@ -3,6 +3,7 @@ package cardest
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -179,4 +180,137 @@ func TestGuardConcurrentHammer(t *testing.T) {
 		}()
 	}
 	wg.Wait()
+}
+
+// slowThenFast is an estimator whose latency is switchable: slow until
+// recover() is called, instant after — the "learned model under load"
+// scenario for the half-open probe.
+type slowThenFast struct {
+	slow  atomic.Bool
+	delay time.Duration
+	calls atomic.Int64
+}
+
+func (s *slowThenFast) Name() string { return "slow-then-fast" }
+
+func (s *slowThenFast) EstimateSubset(*query.Query, query.BitSet) float64 {
+	s.calls.Add(1)
+	if s.slow.Load() {
+		time.Sleep(s.delay)
+	}
+	return 42
+}
+
+// TestGuardHalfOpenProbeRecoversByTime is the regression test for the
+// breaker staying on the fallback forever: with a call-counted Cooldown that
+// never elapses, ProbeInterval must still let a wall-clock-spaced probe
+// re-admit the inner estimator once its latency budget recovers.
+func TestGuardHalfOpenProbeRecoversByTime(t *testing.T) {
+	inner := &slowThenFast{delay: 2 * time.Millisecond}
+	inner.slow.Store(true)
+	g := NewGuard(inner, GuardConfig{
+		Fallback:      Fixed{Value: 9, Label: "fb"},
+		LatencyBudget: 100 * time.Microsecond,
+		TripAfter:     1,
+		Cooldown:      1 << 30, // the call-counted path alone would keep the breaker open ~forever
+		ProbeInterval: time.Minute,
+	})
+	now := time.Unix(1000, 0)
+	g.now = func() time.Time { return now }
+
+	// First call overruns the latency budget and trips the breaker (the
+	// late value itself is still served).
+	if v := g.EstimateSubset(nil, 0); v != 42 {
+		t.Fatalf("late value must be kept, got %v", v)
+	}
+	if s := g.Stats(); !s.Open || s.LatencyFaults != 1 {
+		t.Fatalf("breaker should be open on latency fault: %+v", s)
+	}
+
+	// While open and before the interval, everything is fallback: the inner
+	// estimator is not called again.
+	for i := 0; i < 10; i++ {
+		if v := g.EstimateSubset(nil, 0); v != 9 {
+			t.Fatalf("open breaker call %d: want fallback 9, got %v", i, v)
+		}
+	}
+	if c := inner.calls.Load(); c != 1 {
+		t.Fatalf("inner called %d times while breaker open", c)
+	}
+
+	// The latency recovers, the interval elapses: the next call is a probe,
+	// it succeeds, and the breaker closes.
+	inner.slow.Store(false)
+	now = now.Add(2 * time.Minute)
+	if v := g.EstimateSubset(nil, 0); v != 42 {
+		t.Fatalf("probe should reach the recovered inner estimator, got %v", v)
+	}
+	if s := g.Stats(); s.Open || s.Recoveries != 1 {
+		t.Fatalf("breaker should have closed after the probe: %+v", s)
+	}
+	if v := g.EstimateSubset(nil, 0); v != 42 {
+		t.Fatalf("closed breaker must serve inner, got %v", v)
+	}
+}
+
+// TestGuardHalfOpenFailedProbeRearmsInterval: a probe that still overruns
+// the budget re-arms the interval instead of closing the breaker.
+func TestGuardHalfOpenFailedProbeRearmsInterval(t *testing.T) {
+	inner := &slowThenFast{delay: 2 * time.Millisecond}
+	inner.slow.Store(true)
+	g := NewGuard(inner, GuardConfig{
+		Fallback:      Fixed{Value: 9, Label: "fb"},
+		LatencyBudget: 100 * time.Microsecond,
+		TripAfter:     1,
+		Cooldown:      1 << 30,
+		ProbeInterval: time.Minute,
+	})
+	now := time.Unix(2000, 0)
+	g.now = func() time.Time { return now }
+
+	g.EstimateSubset(nil, 0) // trip
+	now = now.Add(2 * time.Minute)
+	if v := g.EstimateSubset(nil, 0); v != 42 {
+		t.Fatalf("probe keeps the late value, got %v", v)
+	}
+	if s := g.Stats(); !s.Open || s.Recoveries != 0 {
+		t.Fatalf("failed probe must not close the breaker: %+v", s)
+	}
+	// Immediately after the failed probe the interval is re-armed.
+	if v := g.EstimateSubset(nil, 0); v != 9 {
+		t.Fatalf("want fallback right after failed probe, got %v", v)
+	}
+	if c := inner.calls.Load(); c != 2 {
+		t.Fatalf("inner calls = %d, want 2", c)
+	}
+}
+
+// TestFallbackChainDegradesRungByRung: the ladder serves the top rung while
+// healthy, the next rung when the top breaker trips, and the heuristic when
+// every rung misbehaves.
+func TestFallbackChainDegradesRungByRung(t *testing.T) {
+	top := &flaky{script: []func() float64{func() float64 { return boom() }}}
+	mid := &flaky{script: []func() float64{est(7)}}
+	chain := NewFallbackChain(GuardConfig{TripAfter: 2, Cooldown: 1 << 30}, top, mid)
+	if chain.Name() != "flaky" {
+		t.Fatalf("chain name = %q", chain.Name())
+	}
+	// Every call recovers the top rung's panic into the mid rung's value;
+	// after TripAfter faults the top breaker is open and the top rung is no
+	// longer called at all.
+	for i := 0; i < 6; i++ {
+		if v := chain.EstimateSubset(nil, 0); v != 7 {
+			t.Fatalf("call %d: want mid rung 7, got %v", i, v)
+		}
+	}
+	if top.calls != 2 {
+		t.Fatalf("top rung called %d times, want 2 (tripped after)", top.calls)
+	}
+
+	// A chain of nothing but a panicking rung bottoms out at the heuristic.
+	bad := &flaky{script: []func() float64{func() float64 { return boom() }}}
+	all := NewFallbackChain(GuardConfig{TripAfter: 1, Cooldown: 1 << 30}, bad)
+	if v := all.EstimateSubset(nil, 0); v != 1000 {
+		t.Fatalf("want default heuristic 1000, got %v", v)
+	}
 }

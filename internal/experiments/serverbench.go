@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -17,13 +18,21 @@ import (
 // ServerBenchResult is the serving-subsystem benchmark recorded in
 // BENCH_e2e.json: the environment's low-join suite pushed through the full
 // internal/server path — HTTP-free but otherwise end to end: admission,
-// sessions, SQL re-parse, per-tenant caches — by concurrent workers across
-// two tenants, with one model hot-swap landing mid-run. Latency is
-// client-observed (admission wait included).
+// per-tenant rate limiting, sessions, SQL re-parse, per-tenant caches — by
+// concurrent workers across two tenants, with one model hot-swap landing
+// mid-run. Tenants run with a deliberately tight token bucket, and clients
+// retry sheds with jittered backoff honoring the server's retry hints, so
+// the snapshot exercises the whole overload-control loop: every query must
+// still land (served-count parity with the submitted workload). Latency is
+// client-observed across all retries (admission wait and backoff included).
 type ServerBenchResult struct {
 	Tenants int `json:"tenants"`
 	Workers int `json:"workers"`
 	Queries int `json:"queries"`
+	// RateQPS/RateBurst are the per-tenant token-bucket parameters the run
+	// used; RateQPS > 0 arms benchdiff's served-count parity gate.
+	RateQPS   float64 `json:"rate_qps"`
+	RateBurst int     `json:"rate_burst"`
 	// Swaps counts model hot-swaps during the run (at least 1: the mid-run
 	// swap is part of the scenario, not an option).
 	Swaps       int64   `json:"swaps"`
@@ -31,8 +40,20 @@ type ServerBenchResult struct {
 	QPS         float64 `json:"qps"`
 	P50Millis   float64 `json:"p50_ms"`
 	P99Millis   float64 `json:"p99_ms"`
-	// Errors counts queries that failed through the server; the bench gate
-	// fails on any, since the same queries succeed on a bare engine.
+	// Served counts queries that completed successfully (possibly after
+	// retries); Shed counts queries the server turned away even after the
+	// client's retry budget — sheds are accounted, not errors. Under a
+	// correctly-tuned bucket Served == Queries and Shed == 0.
+	Served int `json:"served"`
+	Shed   int `json:"shed"`
+	// Retries is the pool-wide retry total; RateLimitHits is the server-side
+	// count of 429s issued (every one was absorbed by client backoff when
+	// Served == Queries).
+	Retries       int64 `json:"retries"`
+	RateLimitHits int64 `json:"rate_limit_hits"`
+	// Errors counts queries that failed through the server for any reason
+	// other than a shed; the bench gate fails on any, since the same queries
+	// succeed on a bare engine.
 	Errors int `json:"errors"`
 	// CountsIdentical asserts every served COUNT(*) matched the bare
 	// engine's answer for the same query — the serving layers (admission,
@@ -66,6 +87,14 @@ func ServerBench(e *Env, workers int) (*ServerBenchResult, error) {
 		oracle[i] = res.Count
 	}
 
+	// Per-tenant token bucket, deliberately tighter than the unthrottled
+	// arrival rate (the unlimited run clears this suite in ~tens of ms) so
+	// the limiter actually fires, but with enough sustained qps that client
+	// backoff absorbs every shed well inside its retry budget.
+	const (
+		rateQPS   = 200.0
+		rateBurst = 4
+	)
 	srv, err := server.New(server.Config{
 		DB:            e.DB,
 		Enc:           e.Enc,
@@ -73,8 +102,8 @@ func ServerBench(e *Env, workers int) (*ServerBenchResult, error) {
 		Models:        e.ModelSet(),
 		ModelsVersion: "bench-v1",
 		Tenants: []server.TenantConfig{
-			{Name: "alpha", Weight: 1},
-			{Name: "beta", Weight: 1},
+			{Name: "alpha", Weight: 1, RateQPS: rateQPS, RateBurst: rateBurst},
+			{Name: "beta", Weight: 1, RateQPS: rateQPS, RateBurst: rateBurst},
 		},
 		MaxConcurrent:  int64(workers),
 		MaxQueue:       2 * n,
@@ -86,11 +115,28 @@ func ServerBench(e *Env, workers int) (*ServerBenchResult, error) {
 	}
 	defer srv.Close(context.Background())
 
+	// Compliant overload-control client: jittered exponential backoff with a
+	// pool-wide retry budget, retrying only the server's shed classes and
+	// honoring its Retry-After hints as delay floors.
+	backoff := workload.Backoff{
+		Base:        2 * time.Millisecond,
+		Max:         50 * time.Millisecond,
+		MaxAttempts: 8,
+		Seed:        42,
+		Budget:      workload.NewRetryBudget(int64(n) * 8),
+	}
+	retryable := func(err error) bool {
+		return errors.Is(err, server.ErrRateLimited) || errors.Is(err, server.ErrQueueFull)
+	}
+
 	var (
 		done      atomic.Int64
+		retries   atomic.Int64
 		swapOnce  sync.Once
 		mu        sync.Mutex
 		latencies = make([]float64, 0, n)
+		served    int
+		shed      int
 		errCount  int
 		identical = true
 	)
@@ -98,18 +144,31 @@ func ServerBench(e *Env, workers int) (*ServerBenchResult, error) {
 	workload.RunEach(context.Background(), n, workers, func(i int) error {
 		tenant := []string{"alpha", "beta"}[i%2]
 		qStart := time.Now()
-		res, err := srv.Query(context.Background(), server.QueryRequest{
-			Tenant:  tenant,
-			Session: fmt.Sprintf("%s-%d", tenant, i%workers),
-			SQL:     queries[i].SQL(),
+		var res *server.QueryResult
+		attempts, err := backoff.Retry(context.Background(), uint64(i), retryable, func() error {
+			var qerr error
+			res, qerr = srv.Query(context.Background(), server.QueryRequest{
+				Tenant:  tenant,
+				Session: fmt.Sprintf("%s-%d", tenant, i%workers),
+				SQL:     queries[i].SQL(),
+			})
+			return qerr
 		})
 		lat := time.Since(qStart)
+		retries.Add(int64(attempts - 1))
 		mu.Lock()
 		latencies = append(latencies, float64(lat)/float64(time.Millisecond))
-		if err != nil {
+		switch {
+		case err == nil:
+			served++
+			if res.Count != oracle[i] {
+				identical = false
+			}
+		case retryable(err):
+			// Shed even after the retry budget: accounted, not an error.
+			shed++
+		default:
 			errCount++
-		} else if res.Count != oracle[i] {
-			identical = false
 		}
 		mu.Unlock()
 		// Halfway through, hot-swap to a freshly-wired serving set of the
@@ -123,16 +182,23 @@ func ServerBench(e *Env, workers int) (*ServerBenchResult, error) {
 	})
 	wall := time.Since(start)
 
+	snap := srv.MetricsSnapshot()
 	sort.Float64s(latencies)
 	r := &ServerBenchResult{
 		Tenants:         2,
 		Workers:         workers,
 		Queries:         n,
-		Swaps:           srv.MetricsSnapshot().Counters["server.model_swaps"],
+		RateQPS:         rateQPS,
+		RateBurst:       rateBurst,
+		Swaps:           snap.Counters["server.model_swaps"],
 		WallSeconds:     wall.Seconds(),
 		QPS:             float64(n) / wall.Seconds(),
 		P50Millis:       Percentile(latencies, 0.50),
 		P99Millis:       Percentile(latencies, 0.99),
+		Served:          served,
+		Shed:            shed,
+		Retries:         retries.Load(),
+		RateLimitHits:   snap.Counters["tenant.alpha.server.shed.rate_limited"] + snap.Counters["tenant.beta.server.shed.rate_limited"],
 		Errors:          errCount,
 		CountsIdentical: identical && errCount == 0,
 	}

@@ -205,3 +205,49 @@ func (o *faultyOp) Next(ctx *exec.Ctx) (exec.Tuple, bool, error) {
 }
 
 func (o *faultyOp) Close() { o.inner.Close() }
+
+// Spike is a deterministic load-spike schedule for overload tests: request
+// indices are grouped into windows of Period; the first Burst indices of
+// each window arrive back-to-back (no pacing) while the rest are paced Gap
+// apart. Clients sleep Delay(i) before sending request i, so the arrival
+// process alternates between sustained trickle and saturating spike — the
+// traffic shape that exercises rate limiters, admission queues, and the
+// health state machine. Pure function of the index: the same i is always in
+// (or out of) a spike, regardless of scheduling.
+type Spike struct {
+	Period int           // window length in requests (default 32)
+	Burst  int           // leading back-to-back requests per window (default Period/4)
+	Gap    time.Duration // inter-arrival pacing outside bursts (default 500µs)
+}
+
+func (s Spike) normalized() Spike {
+	if s.Period <= 0 {
+		s.Period = 32
+	}
+	if s.Burst <= 0 {
+		s.Burst = s.Period / 4
+	}
+	if s.Burst > s.Period {
+		s.Burst = s.Period
+	}
+	if s.Gap <= 0 {
+		s.Gap = 500 * time.Microsecond
+	}
+	return s
+}
+
+// InBurst reports whether request i falls inside a spike window.
+func (s Spike) InBurst(i int) bool {
+	s = s.normalized()
+	return i%s.Period < s.Burst
+}
+
+// Delay returns the pre-send pacing delay for request i: zero inside a
+// spike, Gap outside.
+func (s Spike) Delay(i int) time.Duration {
+	s = s.normalized()
+	if s.InBurst(i) {
+		return 0
+	}
+	return s.Gap
+}

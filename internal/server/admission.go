@@ -3,13 +3,15 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
+	"time"
 
 	"github.com/lpce-db/lpce/internal/obs"
 )
 
-// Typed admission errors. The HTTP layer maps them to status codes (429 and
-// 503); embedded callers match them with errors.Is.
+// Typed admission errors. The HTTP layer maps them to status codes (429,
+// 503, 504); embedded callers match them with errors.Is.
 var (
 	// ErrQueueFull rejects an admission because the bounded wait queue is
 	// already at capacity — the server is overloaded and sheds load instead
@@ -18,7 +20,30 @@ var (
 	// ErrClosed rejects an admission because the server is shutting down
 	// (HTTP 503). In-flight queries keep running; only new work is refused.
 	ErrClosed = errors.New("server: shutting down")
+	// ErrDeadlineUnmeetable rejects an admission whose deadline is closer
+	// than the predicted queue wait: queueing the request would only have it
+	// expire in line, wasting a queue slot and the client's patience. It is
+	// cheaper for everyone to say 504 now (HTTP 504).
+	ErrDeadlineUnmeetable = errors.New("server: deadline unmeetable before predicted queue wait")
 )
+
+// ShedError wraps an admission rejection with an earliest-retry hint for
+// the Retry-After header and for backoff clients. errors.Is matching passes
+// through to the wrapped sentinel.
+type ShedError struct {
+	Err   error
+	After time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", e.Err, e.After)
+}
+
+// Unwrap exposes the wrapped sentinel to errors.Is / errors.As.
+func (e *ShedError) Unwrap() error { return e.Err }
+
+// RetryAfter returns the earliest-retry hint.
+func (e *ShedError) RetryAfter() time.Duration { return e.After }
 
 // admitter is a weighted semaphore with a bounded FIFO wait queue: the
 // admission-control core. Each tenant acquires its configured weight per
@@ -38,18 +63,30 @@ type admitter struct {
 	// weight is released; Close waits on it to drain.
 	drained chan struct{}
 
+	// waitEWMA smooths the observed queue waits of recently granted waiters;
+	// it is the predicted wait a newly enqueued request faces, used by the
+	// deadline-aware rejection below. Direct (no-queue) admissions decay it
+	// toward zero so an idle server forgets old congestion.
+	waitEWMA time.Duration
+	// onQueue, when set, observes the queue depth after every change — the
+	// health state machine's feed. Invoked outside the mutex.
+	onQueue func(depth int)
+
 	// metrics (nil-safe, interned by the owning server)
 	inflight *obs.Gauge
 	queued   *obs.Gauge
+	waitMs   *obs.Gauge // predicted queue wait (the EWMA), milliseconds
 	admitted *obs.Counter
 	rejected *obs.Counter
 	shedded  *obs.Counter // rejected because closed
+	deadline *obs.Counter // rejected because the deadline cannot be met
 }
 
 type waiter struct {
-	weight int64
-	ready  chan struct{} // closed on grant
-	err    error         // set before ready is closed on failure
+	weight     int64
+	ready      chan struct{} // closed on grant
+	err        error         // set before ready is closed on failure
+	enqueuedAt time.Time     // feeds the wait EWMA on grant
 	// abandoned marks a waiter whose context expired; the granter skips it.
 	abandoned bool
 }
@@ -67,16 +104,57 @@ func newAdmitter(capacity int64, maxWait int, reg *obs.Registry) *admitter {
 		drained:  make(chan struct{}),
 		inflight: reg.Gauge("server.admission.inflight_weight"),
 		queued:   reg.Gauge("server.admission.queued"),
+		waitMs:   reg.Gauge("server.admission.predicted_wait_ms"),
 		admitted: reg.Counter("server.admission.admitted"),
 		rejected: reg.Counter("server.admission.rejected_queue_full"),
 		shedded:  reg.Counter("server.admission.rejected_closed"),
+		deadline: reg.Counter("server.admission.rejected_deadline"),
+	}
+}
+
+// ewmaAlphaShift sets the wait-EWMA smoothing: new = old + (sample-old)/8.
+const ewmaAlphaShift = 3
+
+// noteWaitLocked folds one observed queue wait into the EWMA. Called with
+// the mutex held; direct admissions pass 0 to decay it.
+func (a *admitter) noteWaitLocked(wait time.Duration) {
+	a.waitEWMA += (wait - a.waitEWMA) >> ewmaAlphaShift
+	a.waitMs.Set(float64(a.waitEWMA) / float64(time.Millisecond))
+}
+
+// predictedWait returns the current queue-wait prediction.
+func (a *admitter) predictedWait() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.waitEWMA
+}
+
+// retryHintLocked is the Retry-After hint attached to sheds: the predicted
+// queue wait, floored at 1ms so clients never busy-spin on a zero hint.
+// Called with the mutex held.
+func (a *admitter) retryHintLocked() time.Duration {
+	if a.waitEWMA < time.Millisecond {
+		return time.Millisecond
+	}
+	return a.waitEWMA
+}
+
+// notifyQueue reports a queue-depth change to the health hook, outside the
+// mutex (the hook takes its own locks and may fan out to observers).
+func (a *admitter) notifyQueue(depth int) {
+	if a.onQueue != nil {
+		a.onQueue(depth)
 	}
 }
 
 // acquire blocks until weight units of capacity are granted, the context is
 // done, or the server closes. Weights above the total capacity are clamped
 // to it so a misconfigured tenant degrades to exclusive access instead of
-// deadlocking. The caller must release(weight) exactly once on success.
+// deadlocking. Rejections carry a *ShedError Retry-After hint; a request
+// whose context deadline is closer than the predicted queue wait is
+// rejected with ErrDeadlineUnmeetable BEFORE enqueueing — it would only
+// expire in line, holding a queue slot no one can use. The caller must
+// release(weight) exactly once on success.
 func (a *admitter) acquire(ctx context.Context, weight int64) error {
 	if weight <= 0 {
 		weight = 1
@@ -87,24 +165,37 @@ func (a *admitter) acquire(ctx context.Context, weight int64) error {
 	}
 	switch {
 	case a.closed:
+		err := &ShedError{Err: ErrClosed, After: a.retryHintLocked()}
 		a.mu.Unlock()
 		a.shedded.Inc()
-		return ErrClosed
+		return err
 	case len(a.queue) == 0 && a.used+weight <= a.cap:
 		a.used += weight
 		a.inflight.Set(float64(a.used))
+		a.noteWaitLocked(0)
 		a.mu.Unlock()
 		a.admitted.Inc()
 		return nil
 	case len(a.queue) >= a.maxWait:
+		err := &ShedError{Err: ErrQueueFull, After: a.retryHintLocked()}
 		a.mu.Unlock()
 		a.rejected.Inc()
-		return ErrQueueFull
+		return err
 	}
-	w := &waiter{weight: weight, ready: make(chan struct{})}
+	// Deadline-aware admission: compare the request's remaining budget with
+	// the EWMA-predicted queue wait before committing a queue slot.
+	if d, ok := ctx.Deadline(); ok && time.Until(d) < a.waitEWMA {
+		err := &ShedError{Err: ErrDeadlineUnmeetable, After: a.retryHintLocked()}
+		a.mu.Unlock()
+		a.deadline.Inc()
+		return err
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{}), enqueuedAt: time.Now()}
 	a.queue = append(a.queue, w)
-	a.queued.Set(float64(len(a.queue)))
+	depth := len(a.queue)
+	a.queued.Set(float64(depth))
 	a.mu.Unlock()
+	a.notifyQueue(depth)
 
 	select {
 	case <-w.ready:
@@ -130,7 +221,9 @@ func (a *admitter) acquire(ctx context.Context, weight int64) error {
 		default:
 			w.abandoned = true
 			a.compactQueue()
+			depth := len(a.queue)
 			a.mu.Unlock()
+			a.notifyQueue(depth)
 			return ctx.Err()
 		}
 	}
@@ -151,9 +244,11 @@ func (a *admitter) release(weight int64) {
 	}
 	a.promote()
 	a.inflight.Set(float64(a.used))
-	a.queued.Set(float64(len(a.queue)))
+	depth := len(a.queue)
+	a.queued.Set(float64(depth))
 	done := a.closed && a.used == 0
 	a.mu.Unlock()
+	a.notifyQueue(depth)
 	if done {
 		a.signalDrained()
 	}
@@ -174,6 +269,9 @@ func (a *admitter) promote() {
 		}
 		a.used += w.weight
 		a.queue = a.queue[1:]
+		if !w.enqueuedAt.IsZero() {
+			a.noteWaitLocked(time.Since(w.enqueuedAt))
+		}
 		close(w.ready)
 	}
 	// Reset the backing array when empty so abandoned waiters are not
@@ -211,7 +309,7 @@ func (a *admitter) close() {
 	a.closed = true
 	for _, w := range a.queue {
 		if !w.abandoned {
-			w.err = ErrClosed
+			w.err = &ShedError{Err: ErrClosed, After: a.retryHintLocked()}
 			close(w.ready)
 		}
 	}
@@ -219,6 +317,7 @@ func (a *admitter) close() {
 	a.queued.Set(0)
 	done := a.used == 0
 	a.mu.Unlock()
+	a.notifyQueue(0)
 	if done {
 		a.signalDrained()
 	}

@@ -4,7 +4,9 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"math"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -16,9 +18,14 @@ import (
 //	GET  /metrics           merged global + per-tenant metrics snapshot
 //	POST /admin/models/swap hot-swap model artifacts {dir, version?}
 //
-// Error mapping: parse failures 400, unknown tenant 404, admission-queue
-// overflow 429, shutdown 503, deadline 504, resource-limit degradation 422,
-// anything else 500. Every error body is {"error": "..."}.
+// Error mapping: parse failures 400, unknown tenant 404, rate limiting and
+// admission-queue overflow 429, shutdown 503, deadline (exceeded or
+// unmeetable) 504, resource-limit degradation 422, anything else 500.
+// Sheds carry a Retry-After header with the server's earliest-retry hint.
+// Every error body is {"error": "..."}.
+//
+// Requests may carry their deadline as an X-Deadline-Ms header (remaining
+// milliseconds); a JSON timeout_ms takes precedence when both are present.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
@@ -47,12 +54,28 @@ func (b queryBody) request() QueryRequest {
 	}
 }
 
+// applyDeadlineHeader folds an X-Deadline-Ms header into the request when
+// the body carried no explicit timeout, so proxies and clients can attach
+// deadlines without touching the JSON payload.
+func applyDeadlineHeader(req *QueryRequest, r *http.Request) {
+	if req.Timeout > 0 {
+		return
+	}
+	if h := r.Header.Get("X-Deadline-Ms"); h != "" {
+		if ms, err := strconv.ParseInt(h, 10, 64); err == nil && ms > 0 {
+			req.Timeout = time.Duration(ms) * time.Millisecond
+		}
+	}
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var body queryBody
 	if !decodeBody(w, r, &body) {
 		return
 	}
-	res, err := s.Query(r.Context(), body.request())
+	req := body.request()
+	applyDeadlineHeader(&req, r)
+	res, err := s.Query(r.Context(), req)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -80,7 +103,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	h := s.Health()
 	code := http.StatusOK
-	if h.Status != "ok" {
+	// Degraded/overloaded still answer 200 — the server is alive and
+	// serving (with reduced quality); only shutdown reads as unavailable.
+	if h.Status == "closing" {
 		code = http.StatusServiceUnavailable
 	}
 	writeJSON(w, code, h)
@@ -130,8 +155,19 @@ func decodeBody(w http.ResponseWriter, r *http.Request, dst any) bool {
 	return true
 }
 
-// writeError maps a serving error to its HTTP status.
+// writeError maps a serving error to its HTTP status. Errors carrying an
+// earliest-retry hint (rate limits, queue overflow, shutdown, unmeetable
+// deadlines) also get a Retry-After header, in whole seconds rounded up
+// and floored at 1 per RFC 9110's delay-seconds grammar.
 func writeError(w http.ResponseWriter, err error) {
+	var hint interface{ RetryAfter() time.Duration }
+	if errors.As(err, &hint) {
+		secs := int64(math.Ceil(hint.RetryAfter().Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
 	writeJSON(w, statusFor(err), map[string]string{"error": err.Error()})
 }
 
@@ -141,11 +177,11 @@ func statusFor(err error) int {
 		return http.StatusBadRequest
 	case errors.Is(err, ErrUnknownTenant):
 		return http.StatusNotFound
-	case errors.Is(err, ErrQueueFull):
+	case errors.Is(err, ErrRateLimited), errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests
 	case errors.Is(err, ErrClosed):
 		return http.StatusServiceUnavailable
-	case errors.Is(err, context.DeadlineExceeded):
+	case errors.Is(err, ErrDeadlineUnmeetable), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case isResourceErr(err):
 		return http.StatusUnprocessableEntity

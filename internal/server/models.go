@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"github.com/lpce-db/lpce/internal/cardest"
 	"github.com/lpce-db/lpce/internal/core"
@@ -29,6 +30,15 @@ type servingSet struct {
 	// rates are attributable and one tenant's churn cannot evict another's
 	// working set.
 	caches map[string]*cardest.Cache
+
+	// shedEstName and shedCaches are the overload fallback rung: when the
+	// health machine reports StateOverloaded, Query routes estimation here —
+	// a guarded chain that degrades learned model → histogram → heuristic —
+	// so admitted queries still plan cheaply instead of paying model
+	// inference under pressure. Built and swapped together with the primary
+	// stack so ladder routing is torn-set-free too.
+	shedEstName string
+	shedCaches  map[string]*cardest.Cache
 }
 
 // Estimator modes for Config.Mode.
@@ -40,19 +50,43 @@ const (
 
 // buildServingSet wires an estimator and optional refiner into a servingSet
 // for the server's tenants: one bounded cache per tenant, registered on
-// that tenant's metrics registry.
-func (s *Server) buildServingSet(version string, est cardest.Estimator, refiner *core.Refiner, overlay bool) *servingSet {
+// that tenant's metrics registry. A nil shed estimator gets the default
+// overload ladder: the primary estimator guarded by a latency budget,
+// falling back to the histogram baseline, bottoming at the chain heuristic.
+func (s *Server) buildServingSet(version string, est cardest.Estimator, refiner *core.Refiner, overlay bool, shed cardest.Estimator) *servingSet {
+	if shed == nil {
+		shed = s.defaultShedChain(est)
+	}
 	set := &servingSet{
-		version: version,
-		estName: est.Name(),
-		refiner: refiner,
-		overlay: overlay && refiner == nil,
-		caches:  make(map[string]*cardest.Cache, len(s.tenants)),
+		version:     version,
+		estName:     est.Name(),
+		refiner:     refiner,
+		overlay:     overlay && refiner == nil,
+		caches:      make(map[string]*cardest.Cache, len(s.tenants)),
+		shedEstName: shed.Name(),
+		shedCaches:  make(map[string]*cardest.Cache, len(s.tenants)),
 	}
 	for name, tn := range s.tenants {
 		set.caches[name] = cardest.NewCacheBounded(est, tn.obs.Registry(), s.cfg.CacheCapacity)
+		set.shedCaches[name] = cardest.NewCacheBounded(shed, tn.obs.Registry(), s.cfg.CacheCapacity)
 	}
 	return set
+}
+
+// defaultShedChain builds the standard load-shedding estimator ladder over
+// a primary estimator: the primary runs under a circuit breaker with a
+// half-open recovery probe; when it trips (or exceeds its latency budget),
+// estimation degrades to the histogram baseline, and — should the histogram
+// itself fault — to the fixed chain heuristic. Every rung is bounded by the
+// cross-product sanity clamp.
+func (s *Server) defaultShedChain(primary cardest.Estimator) cardest.Estimator {
+	return cardest.NewFallbackChain(cardest.GuardConfig{
+		Bound:         cardest.CrossProductBound(s.cfg.DB),
+		Registry:      s.global.Registry(),
+		TripAfter:     3,
+		Cooldown:      64,
+		ProbeInterval: 5 * time.Second,
+	}, primary, histogram.NewEstimator(s.cfg.DB))
 }
 
 // setFromArtifacts builds the serving estimator stack for the configured
@@ -67,7 +101,7 @@ func (s *Server) setFromArtifacts(version string, set *modelio.Set) (*servingSet
 	}
 	switch mode {
 	case ModeHistogram:
-		return s.buildServingSet(version, histogram.NewEstimator(s.cfg.DB), nil, s.cfg.OverlayReopt), nil
+		return s.buildServingSet(version, histogram.NewEstimator(s.cfg.DB), nil, s.cfg.OverlayReopt, nil), nil
 	case ModeLPCE, ModeLPCER:
 		if set == nil || set.LPCEI == nil {
 			return nil, fmt.Errorf("server: mode %q needs a model set", mode)
@@ -80,7 +114,7 @@ func (s *Server) setFromArtifacts(version string, set *modelio.Set) (*servingSet
 			}
 			refiner = set.Refiner
 		}
-		return s.buildServingSet(version, est, refiner, s.cfg.OverlayReopt), nil
+		return s.buildServingSet(version, est, refiner, s.cfg.OverlayReopt, nil), nil
 	default:
 		return nil, fmt.Errorf("server: unknown estimator mode %q", mode)
 	}
@@ -114,7 +148,15 @@ func (s *Server) SwapModels(dir, version string) (old, cur string, err error) {
 // soak harness uses it to swap fault-injected stacks mid-load; embedders
 // can use it to serve estimators that have no modelio artifact form.
 func (s *Server) InstallEstimator(version string, est cardest.Estimator, refiner *core.Refiner) (old string) {
-	return s.install(s.buildServingSet(version, est, refiner, s.cfg.OverlayReopt))
+	return s.install(s.buildServingSet(version, est, refiner, s.cfg.OverlayReopt, nil))
+}
+
+// InstallLadder hot-swaps an estimator stack together with an explicit shed
+// (overload fallback) estimator, replacing the default guarded chain. The
+// soak harness uses it to install a deterministic shed rung; embedders can
+// use it to control exactly what serves during overload.
+func (s *Server) InstallLadder(version string, est cardest.Estimator, refiner *core.Refiner, shed cardest.Estimator) (old string) {
+	return s.install(s.buildServingSet(version, est, refiner, s.cfg.OverlayReopt, shed))
 }
 
 // install atomically publishes the new serving set and returns the previous

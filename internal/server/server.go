@@ -32,12 +32,19 @@ var ErrUnknownTenant = errors.New("server: unknown tenant")
 var ErrBadQuery = errors.New("server: bad query")
 
 // TenantConfig declares one tenant's namespace: its admission weight (share
-// of the concurrency capacity one of its queries occupies) and its
-// per-query resource limits.
+// of the concurrency capacity one of its queries occupies), its per-query
+// resource limits, and its request-rate envelope.
 type TenantConfig struct {
 	Name   string
 	Weight int64         // admission weight per query; <=0 means 1
 	Limits engine.Limits // per-query resource limits for this tenant
+	// RateQPS is the tenant's sustained request rate; requests beyond it are
+	// rejected with ErrRateLimited (HTTP 429 + Retry-After) before touching
+	// the shared admission queue. <=0 disables rate limiting for the tenant.
+	RateQPS float64
+	// RateBurst is the token-bucket depth — how many requests may arrive
+	// back-to-back before pacing kicks in (default 1 when RateQPS is set).
+	RateBurst int
 }
 
 // Config configures a Server. DB and at least one tenant are required.
@@ -73,6 +80,10 @@ type Config struct {
 	// evaluation tables (default 4096; negative disables the cap).
 	TraceCap int
 
+	// Overload sets the health state machine's thresholds; the zero value
+	// derives queue thresholds from MaxQueue and disables latency triggers.
+	Overload OverloadPolicy
+
 	// Engine knobs, applied to every query.
 	Budget       int64
 	ExecWorkers  int
@@ -97,6 +108,18 @@ type tenant struct {
 	errs     *obs.Counter
 	degraded *obs.Counter
 	latency  *obs.Histogram
+
+	// bucket is the tenant's token-bucket rate limiter; nil when the tenant
+	// has no configured rate.
+	bucket *tokenBucket
+	// served counts queries that completed (success or query-level error)
+	// after admission; the shed counters tally each rejection class so a
+	// scrape shows shed-vs-served per tenant exactly.
+	served       *obs.Counter
+	shedRate     *obs.Counter // ErrRateLimited
+	shedQueue    *obs.Counter // ErrQueueFull
+	shedClosed   *obs.Counter // ErrClosed
+	shedDeadline *obs.Counter // ErrDeadlineUnmeetable
 }
 
 // Server is a resident multi-tenant SQL serving process over one database.
@@ -107,6 +130,7 @@ type Server struct {
 	tenants map[string]*tenant
 	adm     *admitter
 	sess    *sessionTable
+	health  *healthMachine
 	models  atomic.Pointer[servingSet]
 
 	// global holds server-wide (tenant-independent) metrics.
@@ -165,6 +189,8 @@ func New(cfg Config) (*Server, error) {
 	s.swaps = reg.Counter("server.model_swaps")
 	s.adm = newAdmitter(cfg.MaxConcurrent, cfg.MaxQueue, reg)
 	s.sess = newSessionTable(cfg.SessionTTL, reg)
+	s.health = newHealthMachine(cfg.Overload, cfg.MaxQueue, reg)
+	s.adm.onQueue = s.health.observeQueue
 
 	for _, tc := range cfg.Tenants {
 		if tc.Name == "" {
@@ -180,16 +206,25 @@ func New(cfg Config) (*Server, error) {
 		to.SetTraceCap(cfg.TraceCap)
 		to.CE().SetCap(cfg.TraceCap)
 		treg := to.Registry()
-		s.tenants[tc.Name] = &tenant{
-			name:     tc.Name,
-			weight:   tc.Weight,
-			limits:   tc.Limits,
-			obs:      to,
-			queries:  treg.Counter("server.queries"),
-			errs:     treg.Counter("server.query_errors"),
-			degraded: treg.Counter("server.queries_degraded"),
-			latency:  treg.Histogram("server.query_ms"),
+		tn := &tenant{
+			name:         tc.Name,
+			weight:       tc.Weight,
+			limits:       tc.Limits,
+			obs:          to,
+			queries:      treg.Counter("server.queries"),
+			errs:         treg.Counter("server.query_errors"),
+			degraded:     treg.Counter("server.queries_degraded"),
+			latency:      treg.Histogram("server.query_ms"),
+			served:       treg.Counter("server.served"),
+			shedRate:     treg.Counter("server.shed.rate_limited"),
+			shedQueue:    treg.Counter("server.shed.queue_full"),
+			shedClosed:   treg.Counter("server.shed.closed"),
+			shedDeadline: treg.Counter("server.shed.deadline"),
 		}
+		if tc.RateQPS > 0 {
+			tn.bucket = newTokenBucket(tc.RateQPS, tc.RateBurst, treg.Counter("server.rate_limited"))
+		}
+		s.tenants[tc.Name] = tn
 	}
 
 	initial, err := s.setFromArtifacts(initialVersion(cfg.ModelsVersion), cfg.Models)
@@ -248,15 +283,60 @@ type QueryResult struct {
 	ModelVersion string        `json:"model_version"`
 	Estimator    string        `json:"estimator"`
 	Elapsed      time.Duration `json:"elapsed_ns"`
+	// HealthState is the server state the query was admitted under.
+	HealthState string `json:"health_state,omitempty"`
+	// FallbackEstimator marks a query served from the shed (overload) rung
+	// of the estimator ladder rather than the primary stack.
+	FallbackEstimator bool `json:"fallback_estimator,omitempty"`
 }
 
-// Query admits, prepares, and executes one SQL statement for a tenant.
-// Admission failures surface as ErrQueueFull / ErrClosed; unknown tenants
-// as ErrUnknownTenant; parse errors and engine errors pass through typed.
+// countShed attributes an admission rejection to the tenant's per-class
+// shed counters. Context expiry while queued is the client's own deadline,
+// not a server shed, and is left uncounted.
+func countShed(tn *tenant, err error) {
+	switch {
+	case errors.Is(err, ErrRateLimited):
+		tn.shedRate.Inc()
+	case errors.Is(err, ErrQueueFull):
+		tn.shedQueue.Inc()
+	case errors.Is(err, ErrClosed):
+		tn.shedClosed.Inc()
+	case errors.Is(err, ErrDeadlineUnmeetable):
+		tn.shedDeadline.Inc()
+	}
+}
+
+// reoptSuppress is the serving layer's hook into the re-optimization
+// controller: while the health machine reports degraded or worse, every
+// checkpoint is suppressed under "server-degraded" — re-optimization is the
+// first work shed because it is optional (the query still finishes on its
+// current plan) yet costs an extra planning pass plus refinement inference.
+func (s *Server) reoptSuppress() string {
+	if s.health.current() >= StateDegraded {
+		return "server-degraded"
+	}
+	return ""
+}
+
+// Query admits, prepares, and executes one SQL statement for a tenant,
+// applying the overload-control ladder in order: the tenant's token bucket
+// (cheapest rejection, charged to the flooding tenant alone), deadline-aware
+// admission on the shared semaphore, then — for admitted queries — estimator
+// routing by health state: overloaded servers plan with the shed fallback
+// chain and suppress re-optimization instead of paying model inference.
+// Admission failures surface as ErrRateLimited / ErrQueueFull / ErrClosed /
+// ErrDeadlineUnmeetable; unknown tenants as ErrUnknownTenant; parse errors
+// and engine errors pass through typed.
 func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResult, error) {
 	tn, ok := s.tenants[req.Tenant]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownTenant, req.Tenant)
+	}
+	if tn.bucket != nil {
+		if ok, after := tn.bucket.take(); !ok {
+			tn.shedRate.Inc()
+			return nil, &RateLimitError{Tenant: tn.name, After: after}
+		}
 	}
 	timeout := req.Timeout
 	if timeout <= 0 {
@@ -270,14 +350,29 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResult, err
 	defer stop()
 
 	if err := s.adm.acquire(qctx, tn.weight); err != nil {
+		countShed(tn, err)
 		return nil, err
 	}
 	defer s.adm.release(tn.weight)
 
 	// One atomic load fixes the serving set for this query: estimator,
 	// refiner, and cache are mutually consistent even if a swap lands
-	// mid-flight.
+	// mid-flight. The health state is sampled once at admission so the
+	// query's whole plan comes from one rung of the ladder.
 	ms := s.models.Load()
+	state := s.health.current()
+	est := ms.caches[tn.name]
+	estName := ms.estName
+	refiner := ms.refiner
+	overlay := ms.overlay
+	fallback := false
+	if state >= StateOverloaded {
+		est = ms.shedCaches[tn.name]
+		estName = ms.shedEstName
+		refiner = nil
+		overlay = false
+		fallback = true
+	}
 
 	sess := s.sess.get(req.Tenant, req.Session)
 	q, hit, err := sess.prepare(s.cfg.DB.Schema, req.SQL)
@@ -287,19 +382,22 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResult, err
 
 	start := time.Now()
 	res, err := s.eng.ExecuteContext(qctx, q, engine.Config{
-		Estimator:    ms.caches[tn.name],
-		Refiner:      ms.refiner,
-		OverlayReopt: ms.overlay,
-		Budget:       s.cfg.Budget,
-		Obs:          tn.obs,
-		Limits:       tn.limits,
-		ExecWrap:     s.cfg.ExecWrap,
-		ScalarExec:   s.cfg.ScalarExec,
-		ExecWorkers:  s.cfg.ExecWorkers,
+		Estimator:     est,
+		Refiner:       refiner,
+		OverlayReopt:  overlay,
+		ReoptSuppress: s.reoptSuppress,
+		Budget:        s.cfg.Budget,
+		Obs:           tn.obs,
+		Limits:        tn.limits,
+		ExecWrap:      s.cfg.ExecWrap,
+		ScalarExec:    s.cfg.ScalarExec,
+		ExecWorkers:   s.cfg.ExecWorkers,
 	})
 	elapsed := time.Since(start)
 	tn.queries.Inc()
+	tn.served.Inc()
 	tn.latency.Observe(float64(elapsed) / float64(time.Millisecond))
+	s.health.observeLatency(float64(elapsed) / float64(time.Millisecond))
 	if err != nil {
 		tn.errs.Inc()
 		if isResourceErr(err) || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
@@ -308,13 +406,15 @@ func (s *Server) Query(ctx context.Context, req QueryRequest) (*QueryResult, err
 		return nil, err
 	}
 	return &QueryResult{
-		Count:        res.Count,
-		Reopts:       res.Reopts,
-		TimedOut:     res.TimedOut,
-		Prepared:     hit,
-		ModelVersion: ms.version,
-		Estimator:    ms.estName,
-		Elapsed:      elapsed,
+		Count:             res.Count,
+		Reopts:            res.Reopts,
+		TimedOut:          res.TimedOut,
+		Prepared:          hit,
+		ModelVersion:      ms.version,
+		Estimator:         estName,
+		Elapsed:           elapsed,
+		HealthState:       state.String(),
+		FallbackEstimator: fallback,
 	}, nil
 }
 
@@ -439,12 +539,18 @@ func (s *Server) MetricsSnapshot() obs.MetricsSnapshot {
 
 // Health is the healthz payload.
 type Health struct {
-	Status       string `json:"status"` // "ok" or "closing"
+	Status       string `json:"status"` // "ok", "degraded", "overloaded", or "closing"
 	ModelVersion string `json:"model_version"`
 	Inflight     int64  `json:"inflight_weight"`
 	Queued       int    `json:"queued"`
 	Sessions     int    `json:"sessions"`
 	Tenants      int    `json:"tenants"`
+	// State is the health state machine's current level; Status mirrors it
+	// unless the server is closing ("ok" when healthy, for compatibility).
+	State string `json:"state"`
+	// PredictedWaitMs is the admission queue-wait EWMA driving
+	// deadline-aware rejection.
+	PredictedWaitMs float64 `json:"predicted_wait_ms"`
 }
 
 // isResourceErr reports whether err is a typed per-query resource-limit
@@ -454,19 +560,35 @@ func isResourceErr(err error) bool {
 	return errors.As(err, &re)
 }
 
-// Health reports liveness and the key serving gauges.
+// Health reports liveness, the health state, and the key serving gauges.
+// Each call re-evaluates the state machine, so a polled idle server steps
+// back down to healthy even with no queries arriving to observe.
 func (s *Server) Health() Health {
+	s.health.tick()
 	used, queued := s.adm.stats()
+	state := s.health.current()
 	status := "ok"
+	if state != StateHealthy {
+		status = state.String()
+	}
 	if s.closed.Load() {
 		status = "closing"
 	}
 	return Health{
-		Status:       status,
-		ModelVersion: s.ModelVersion(),
-		Inflight:     used,
-		Queued:       queued,
-		Sessions:     s.sess.count(),
-		Tenants:      len(s.tenants),
+		Status:          status,
+		ModelVersion:    s.ModelVersion(),
+		Inflight:        used,
+		Queued:          queued,
+		Sessions:        s.sess.count(),
+		Tenants:         len(s.tenants),
+		State:           state.String(),
+		PredictedWaitMs: float64(s.adm.predictedWait()) / float64(time.Millisecond),
 	}
+}
+
+// HealthState returns the health state machine's current level — the
+// embedding hook the soak harness and experiment drivers poll.
+func (s *Server) HealthState() HealthState {
+	s.health.tick()
+	return s.health.current()
 }
