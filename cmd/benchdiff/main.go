@@ -23,6 +23,10 @@
 //     executor benchmark whose batch-path result counts differed from
 //     scalar, or a batch path that has become slower than scalar on the
 //     hash-join probe hot path (speedup below 1);
+//   - zone-map effectiveness: the storage benchmark's segment skip rate
+//     (segments_skipped / segments_total) must not drop more than 20% below
+//     the committed baseline's, its zone-map result counts must match the
+//     raw scan path, and the segmented path must actually have engaged;
 //   - morsel-parallelism sanity, within the candidate alone: every
 //     "<config>/pxN" run's executor wall must not exceed its serial
 //     "<config>" run's by more than 10% or -min-seconds absolute (whichever
@@ -124,6 +128,54 @@ func compare(w *os.File, base, cand *experiments.BenchSnapshot, maxRegress, minS
 	failures += checkParallel(w, cand, minSeconds)
 	failures += checkExec(w, cand.Exec, minSeconds)
 	failures += checkServer(w, base.Server, cand.Server, maxRegress, minSeconds)
+	failures += checkStorage(w, base.Storage, cand.Storage)
+	return failures
+}
+
+// skipRateSlack is the tolerated relative drop in the zone-map skip rate:
+// the candidate's segments_skipped/segments_total must stay within 20% of
+// the committed baseline's. Pruning effectiveness is a count ratio, not a
+// wall time, so it is stable across CI machines and gated tightly; the
+// raw-vs-zone wall speedup is reported but not gated.
+const skipRateSlack = 0.20
+
+// checkStorage gates the segment-scan benchmark: the zone-map path must
+// return the same result counts as the raw column path, must actually have
+// engaged (zero segments scanned means the segmented path was silently
+// disabled), and must not have lost more than skipRateSlack of the
+// baseline's pruning effectiveness. A candidate that drops the benchmark
+// while the baseline carries it fails — the gate cannot be dodged by not
+// running it.
+func checkStorage(w *os.File, base, cand *experiments.StorageBenchResult) int {
+	if cand == nil {
+		if base != nil {
+			fmt.Fprintf(w, "storage bench: present in baseline, missing in candidate  REGRESSION\n")
+			return 1
+		}
+		return 0
+	}
+	failures := 0
+	if !cand.CountsIdentical {
+		fmt.Fprintf(w, "storage bench: zone-map result counts differ from raw scan  REGRESSION\n")
+		failures++
+	}
+	if cand.SegmentsTotal == 0 {
+		fmt.Fprintf(w, "storage bench: segment scan path never engaged  REGRESSION\n")
+		failures++
+	}
+	status := "ok"
+	if base != nil && base.SkipRate > 0 {
+		if cand.SkipRate < base.SkipRate*(1-skipRateSlack) {
+			status = "REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(w, "storage bench: skip rate %.1f%% -> %.1f%%  (%+6.1f%%)  %s\n",
+			base.SkipRate*100, cand.SkipRate*100, rel(base.SkipRate, cand.SkipRate)*100, status)
+	} else {
+		fmt.Fprintf(w, "storage bench: skip rate %.1f%% (no baseline)  %s\n", cand.SkipRate*100, status)
+	}
+	fmt.Fprintf(w, "storage bench: %d queries over %d rows, %d/%d segments skipped, raw/zone %.2fx, counts identical: %v\n",
+		cand.Queries, cand.Rows, cand.SegmentsSkipped, cand.SegmentsTotal, cand.Speedup, cand.CountsIdentical)
 	return failures
 }
 

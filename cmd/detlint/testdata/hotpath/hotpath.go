@@ -1,0 +1,47 @@
+// Package hotpath is detlint's test fixture: each map range is either a
+// deliberate violation (carrying the test's marker comment) or suppressed.
+package hotpath
+
+func sumCounts(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want finding
+		total += v
+	}
+	return total
+}
+
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//detlint:ignore — caller sorts
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func countSlice(s []int) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+// bag checks that named types with map underlying are still caught.
+type bag map[int]int
+
+func (b bag) drain() {
+	for k := range b { //detlint:ignore — order-independent sweep
+		delete(b, k)
+	}
+}
+
+func size(b bag) int {
+	n := 0
+	for range b { // want finding
+		n++
+	}
+	return n
+}
+
+var _ = []any{sumCounts, keys, countSlice, bag.drain, size}

@@ -4,10 +4,12 @@
 //
 //	lpce-bench [-scale tiny|small|full] [-seed N] [-experiment all|table1|
 //	           figure1|endtoend|refinement|ablations|figure17|figure18|
-//	           parallel|observe|trainbench|execbench] [-parallel N] [-o file]
+//	           parallel|observe|trainbench|execbench|storagebench]
+//	           [-parallel N] [-o file]
 //	           [-trace] [-metrics-out file] [-bench-out file]
 //	           [-timeout D] [-max-mat-rows N] [-exec batch|scalar]
-//	           [-exec-workers N] [-models-in dir] [-train-workers N]
+//	           [-exec-workers N] [-segment-rows N] [-raw-scan]
+//	           [-models-in dir] [-train-workers N]
 //	           [-cpuprofile file] [-memprofile file]
 //
 // The default runs every experiment at small scale and streams the rendered
@@ -56,6 +58,15 @@
 // parallel exec walls side by side. Results are byte-identical to the serial
 // batch path for any worker count; wall-clock gains track available cores.
 //
+// "storagebench" (also run automatically when -bench-out is set) measures
+// the segmented columnar scan path with zone-map pruning against the raw
+// column path on a clustered synthetic table, asserting identical result
+// counts and recording the segment skip rate that cmd/benchdiff gates.
+// -segment-rows overrides the rows-per-segment granularity for tables
+// sealed after startup, and -raw-scan disables the segmented path engine-wide
+// (the oracle escape hatch, mirroring engine.Config.RawScan) so the two can
+// be compared under the full observability layer.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiment (setup excluded), for digging into executor hot spots with
 // `go tool pprof`.
@@ -73,6 +84,7 @@ import (
 
 	"github.com/lpce-db/lpce/internal/experiments"
 	"github.com/lpce-db/lpce/internal/query"
+	"github.com/lpce-db/lpce/internal/storage"
 )
 
 func main() {
@@ -90,6 +102,8 @@ func main() {
 	trainWorkers := flag.Int("train-workers", 0, "training worker goroutines (0 = serial; weights are identical for any value)")
 	execMode := flag.String("exec", "batch", "executor for the observe experiment: batch (default) or scalar")
 	execWorkers := flag.Int("exec-workers", 4, "morsel-parallelism worker count for observe/execbench (<= 1 = serial only)")
+	segmentRows := flag.Int("segment-rows", 0, "rows per columnar segment (0 = default; applies to data generated after startup)")
+	rawScan := flag.Bool("raw-scan", false, "disable zone-map segment scans and read raw columns (oracle escape hatch)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment to this file")
 	flag.Parse()
@@ -99,6 +113,9 @@ func main() {
 	}
 	if *metricsOut != "" || *benchOut != "" {
 		*trace = true
+	}
+	if *segmentRows > 0 {
+		storage.SetSegmentRows(*segmentRows)
 	}
 	if *trace && *exp == "all" {
 		*exp = "observe"
@@ -133,7 +150,7 @@ func main() {
 	opts := obsOpts{
 		metricsOut: *metricsOut, benchOut: *benchOut, scale: *scale, seed: *seed,
 		timeout: *timeout, maxMatRows: *maxMatRows, trainWorkers: *trainWorkers,
-		scalarExec: *execMode == "scalar", execWorkers: *execWorkers,
+		scalarExec: *execMode == "scalar", execWorkers: *execWorkers, rawScan: *rawScan,
 	}
 	// Profiles cover the experiment only; the setup phase (data generation
 	// and training) would otherwise drown the executor hot spots.
@@ -182,6 +199,7 @@ type obsOpts struct {
 	trainWorkers int
 	scalarExec   bool
 	execWorkers  int
+	rawScan      bool
 }
 
 func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpts) error {
@@ -246,10 +264,19 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 		if !r.CountsIdentical {
 			return fmt.Errorf("exec bench: batch path result counts differ from scalar")
 		}
+	case "storagebench":
+		r, err := experiments.StorageBench()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, r.Render())
+		if !r.CountsIdentical {
+			return fmt.Errorf("storage bench: zone-map path result counts differ from raw scan")
+		}
 	case "observe":
 		r, err := experiments.ObservabilityWithOptions(env, experiments.ObsOptions{
 			Workers: workers, Timeout: opts.timeout, MaxMatRows: opts.maxMatRows,
-			ScalarExec: opts.scalarExec, ExecWorkers: opts.execWorkers,
+			ScalarExec: opts.scalarExec, ExecWorkers: opts.execWorkers, RawScan: opts.rawScan,
 		})
 		if err != nil {
 			return err
@@ -298,6 +325,17 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 			}
 			if sb.RateQPS > 0 && sb.Served != sb.Queries {
 				return fmt.Errorf("server bench: served %d of %d queries under rate limiting", sb.Served, sb.Queries)
+			}
+			// ... and the storage benchmark, so it also watches the segmented
+			// scan path (byte-identity with raw scans and zone-map skip rate).
+			stb, err := experiments.StorageBench()
+			if err != nil {
+				return err
+			}
+			snap.Storage = stb
+			fmt.Fprintln(w, stb.Render())
+			if !stb.CountsIdentical {
+				return fmt.Errorf("storage bench: zone-map path result counts differ from raw scan")
 			}
 			if err := writeJSON(opts.benchOut, snap); err != nil {
 				return err

@@ -78,7 +78,7 @@ func main() {
 		row[3] = int64(i % 50)  // person_role_id
 		rows = append(rows, row)
 	}
-	ci.AppendRows(rows)
+	lpce.AppendRows(ci, rows)
 	lpce.RefreshStats(db)
 
 	runBatch("after data update:")

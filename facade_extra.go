@@ -53,8 +53,15 @@ func NewDriftMonitor(baselineMedianQ, factor float64, windowSize int) *DriftMoni
 }
 
 // RefreshStats recomputes catalog and histogram statistics after data
-// updates (ANALYZE).
+// updates (ANALYZE), re-sealing tables and rebuilding the column segments
+// invalidated since the last seal.
 func RefreshStats(db *Database) { maintain.RefreshStats(db) }
+
+// AppendRows applies post-load DML to a table: sealed tables reject direct
+// Table.AppendRows calls, so updates go through the maintenance path, which
+// invalidates the affected segments and indexes. Follow a batch of appends
+// with RefreshStats.
+func AppendRows(t *StorageTable, rows [][]int64) { maintain.AppendRows(t, rows) }
 
 // Concurrent workload execution.
 

@@ -73,6 +73,11 @@ type Config struct {
 	// exchange. Results stay byte-identical to the serial path for any value;
 	// <= 1 (and ScalarExec) keep execution strictly serial.
 	ExecWorkers int
+	// RawScan forces batch scans to bypass the encoded column segments and
+	// their zone maps, reading the flat raw columns directly — the oracle
+	// escape hatch for the segment layer, mirroring what ScalarExec is for
+	// the batch executor. Results are byte-identical either way.
+	RawScan bool
 }
 
 // Limits are the per-query resource budgets. The zero value disables every
@@ -208,6 +213,7 @@ func (e *Engine) execute(ctx context.Context, q *query.Query, cfg Config, qt *ob
 			DB: e.DB, Q: q, Controller: ctrl, Budget: cfg.Budget, Trace: qt.NewRound(),
 			Context: ctx, MaxMatRows: cfg.Limits.MaxMatRows, Wrap: cfg.ExecWrap,
 			ExecWorkers: cfg.ExecWorkers,
+			Metrics:     cfg.Obs.Registry(), RawScan: cfg.RawScan,
 		}
 		execStart := time.Now()
 		var count int

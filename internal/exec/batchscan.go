@@ -9,14 +9,22 @@ import (
 // batchSeqScan reads a base table in fixed chunks of physical rows,
 // evaluates the leaf predicates column-at-a-time into a selection vector,
 // and gathers the passing rows into the output arena. Work is charged per
-// chunk (1 per physical row examined, as in the scalar scan).
+// chunk (1 per physical row examined, as in the scalar scan) — including
+// chunks the zone maps skip, so work accounting is independent of pruning.
+//
+// When the table is sealed and the scan has predicates, filtering and
+// gathering go through the encoded segment layer (zs): pruned segments are
+// never decoded, surviving ones are filtered on their encoded form and
+// late-materialized by selection vector. Ctx.RawScan forces the raw path.
 type batchSeqScan struct {
 	node  *plan.Node
 	table *storage.Table
+	zs    *segScanState // shared read-only with morsel replicas; nil = raw
 	row   int
 	end   int // one past the last physical row to scan (morsel bound)
 	count int
 	sel   []int32
+	buf   []int64 // replica-private segment decode scratch
 	out   Batch
 }
 
@@ -24,10 +32,11 @@ func newBatchSeqScan(ctx *Ctx, n *plan.Node) *batchSeqScan {
 	return &batchSeqScan{node: n, table: ctx.DB.Table(n.Table)}
 }
 
-func (s *batchSeqScan) Open(*Ctx) error {
+func (s *batchSeqScan) Open(ctx *Ctx) error {
 	s.row = 0
 	s.end = s.table.NumRows()
 	s.count = 0
+	s.zs = newSegScanState(ctx, s.table, s.node.Preds, true)
 	return nil
 }
 
@@ -43,12 +52,20 @@ func (s *batchSeqScan) NextBatch(ctx *Ctx) (*Batch, error) {
 		if err := ctx.charge(int64(hi - lo)); err != nil {
 			return nil, err
 		}
-		s.sel = selectRange(s.sel[:0], s.table, lo, hi, s.node.Preds)
+		if s.zs != nil {
+			s.sel, s.buf = s.zs.selectRange(s.sel[:0], s.buf, lo, hi, s.node.Preds)
+		} else {
+			s.sel = selectRange(s.sel[:0], s.table, lo, hi, s.node.Preds)
+		}
 		if len(s.sel) == 0 {
 			continue
 		}
 		s.out.reset(width)
-		gatherRows(&s.out, s.table, s.sel)
+		if s.zs != nil {
+			s.zs.gather(&s.out, s.sel)
+		} else {
+			gatherRows(&s.out, s.table, s.sel)
+		}
 		s.count += len(s.sel)
 		return &s.out, nil
 	}
@@ -194,10 +211,14 @@ func gatherRows(b *Batch, t *storage.Table, sel []int32) {
 
 // batchIndexScan drives the scan from the IndexPred column's index (same
 // rid resolution as the scalar indexScan, including the 16-unit descent
-// charge) and applies the remaining predicates per chunk of rids.
+// charge) and applies the remaining predicates per chunk of rids. With the
+// segment layer available, a rid landing in a segment where some residual
+// predicate is zone-map-disproven is dropped before any column is read,
+// and the survivors are filtered and gathered through the encoded form.
 type batchIndexScan struct {
 	node  *plan.Node
 	table *storage.Table
+	zs    *segScanState // shared read-only with morsel replicas; nil = raw
 	rids  []int32
 	rest  []query.Predicate
 	pos   int
@@ -232,6 +253,7 @@ func (s *batchIndexScan) Open(ctx *Ctx) error {
 	}
 	s.rids = rids
 	s.end = len(rids)
+	s.zs = newSegScanState(ctx, s.table, s.rest, false)
 	return nil
 }
 
@@ -248,14 +270,25 @@ func (s *batchIndexScan) NextBatch(ctx *Ctx) (*Batch, error) {
 			return nil, err
 		}
 		s.sel = append(s.sel[:0], s.rids[lo:hi]...)
-		for _, p := range s.rest {
-			s.sel = filterSel(s.sel, s.table.Cols[p.Col.Pos], p)
+		if s.zs != nil {
+			s.sel = s.zs.pruneSel(s.sel)
+			for _, p := range s.rest {
+				s.sel = s.zs.filterSel(s.sel, p)
+			}
+		} else {
+			for _, p := range s.rest {
+				s.sel = filterSel(s.sel, s.table.Cols[p.Col.Pos], p)
+			}
 		}
 		if len(s.sel) == 0 {
 			continue
 		}
 		s.out.reset(width)
-		gatherRows(&s.out, s.table, s.sel)
+		if s.zs != nil {
+			s.zs.gather(&s.out, s.sel)
+		} else {
+			gatherRows(&s.out, s.table, s.sel)
+		}
 		s.count += len(s.sel)
 		return &s.out, nil
 	}

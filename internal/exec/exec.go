@@ -114,6 +114,16 @@ type Ctx struct {
 	// across the whole execution; exceeding it fails the query with a
 	// *ResourceError. Zero means unlimited.
 	MaxMatRows int64
+	// Metrics, when non-nil, receives the storage-layer scan counters
+	// (storage.segments_total, storage.segments_skipped,
+	// storage.bytes_decoded). Scans resolve their counters once in Open, so
+	// a nil registry costs nothing on the per-batch paths.
+	Metrics *obs.Registry
+	// RawScan forces batch scans to bypass the encoded segment layer and
+	// read the flat columns directly — the oracle escape hatch for the
+	// zone-map/compression machinery. Results are byte-identical either
+	// way; only wall time and the storage metrics differ.
+	RawScan bool
 	// ExecWorkers enables morsel-driven intra-query parallelism on the batch
 	// path: RunBatch and drainBatch wrap eligible pipelines in an
 	// order-preserving exchange running up to ExecWorkers goroutines. Values

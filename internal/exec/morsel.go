@@ -53,9 +53,12 @@ type morselSource interface {
 
 func (s *batchSeqScan) morselUnits() int { return s.table.NumRows() }
 
+// morselReplica shares the segment view (zone-map pruning decisions) built
+// by the source's serial Open; decode scratch and selection vectors are
+// replica-private.
 func (s *batchSeqScan) morselReplica(lo, hi int) BatchOperator {
 	shadow := *s.node
-	return &batchSeqScan{node: &shadow, table: s.table, row: lo, end: hi}
+	return &batchSeqScan{node: &shadow, table: s.table, zs: s.zs, row: lo, end: hi}
 }
 
 func (s *batchIndexScan) morselUnits() int { return len(s.rids) }
@@ -64,7 +67,7 @@ func (s *batchIndexScan) morselUnits() int { return len(s.rids) }
 // the 16-unit index-descent charge stays with the source's serial Open.
 func (s *batchIndexScan) morselReplica(lo, hi int) BatchOperator {
 	shadow := *s.node
-	return &batchIndexScan{node: &shadow, table: s.table, rids: s.rids, rest: s.rest, pos: lo, end: hi}
+	return &batchIndexScan{node: &shadow, table: s.table, zs: s.zs, rids: s.rids, rest: s.rest, pos: lo, end: hi}
 }
 
 func (s *batchMatScan) morselUnits() int { return len(s.node.Mat.Rows) }

@@ -69,6 +69,9 @@ type ObsOptions struct {
 	// ScalarExec forces the tuple-at-a-time executor instead of the default
 	// vectorized batch path (see engine.Config.ScalarExec).
 	ScalarExec bool
+	// RawScan disables the segmented scan path with zone-map pruning and
+	// reads raw columns directly (see engine.Config.RawScan).
+	RawScan bool
 	// ExecWorkers, when > 1, adds one extra run per configuration with
 	// morsel-driven intra-query parallelism enabled at that worker count,
 	// named "<config>/px<N>". The base runs stay serial, so the snapshot
@@ -117,6 +120,7 @@ func ObservabilityWithOptions(e *Env, opt ObsOptions) (*ObsResult, error) {
 		cfg.Estimator = cardest.NewCacheWithMetrics(cfg.Estimator, o.Registry())
 		cfg.Limits.MaxMatRows = opt.MaxMatRows
 		cfg.ScalarExec = opt.ScalarExec
+		cfg.RawScan = opt.RawScan
 		cfg.ExecWorkers = execWorkers
 		var execWall atomic.Int64 // summed T_E nanos across workers
 		start := time.Now()
@@ -268,6 +272,9 @@ type BenchSnapshot struct {
 	// Server is the multi-tenant serving benchmark (throughput, latency
 	// percentiles, mid-run hot-swap), attached when the caller runs it.
 	Server *ServerBenchResult `json:"server_bench,omitempty"`
+	// Storage is the segment-scan microbenchmark (raw vs zone-map path,
+	// pruning skip rate), attached when the caller runs it.
+	Storage *StorageBenchResult `json:"storage_bench,omitempty"`
 }
 
 // Snapshot reduces the observability result to the perf snapshot.

@@ -114,9 +114,22 @@ func (m *Monitor) Drifted() bool {
 	return m.medianLocked() > m.baseline*m.factor
 }
 
+// AppendRows is the DML entry point for tables that are already serving
+// queries: it appends through storage.Table.MaintenanceAppend, which
+// unseals the table and invalidates exactly the column segments the new
+// rows dirty (scans fall back to the raw path until stats are refreshed).
+// Callers must still externally synchronize against in-flight readers, and
+// should follow a batch of appends with RefreshStats to re-seal the table,
+// rebuild the dirtied segments, and re-ANALYZE.
+func AppendRows(t *storage.Table, rows [][]int64) {
+	t.MaintenanceAppend(rows)
+}
+
 // RefreshStats re-computes catalog column statistics and histogram
-// statistics after data updates (the engine's ANALYZE). Learned models are
-// NOT retrained here — Monitor decides when that is worth the cost.
+// statistics after data updates (the engine's ANALYZE), re-sealing every
+// table and rebuilding the segments invalidated by DML since the last
+// seal. Learned models are NOT retrained here — Monitor decides when that
+// is worth the cost.
 func RefreshStats(db *storage.Database) *histogram.Stats {
 	for _, t := range db.Tables {
 		if t != nil {

@@ -66,7 +66,9 @@ func (s *Server) buildServingSet(version string, est cardest.Estimator, refiner 
 		shedEstName: shed.Name(),
 		shedCaches:  make(map[string]*cardest.Cache, len(s.tenants)),
 	}
-	for name, tn := range s.tenants {
+	// Populates per-tenant cache maps keyed by the ranged key; no
+	// order-dependent state is touched.
+	for name, tn := range s.tenants { //detlint:ignore — order-independent build
 		set.caches[name] = cardest.NewCacheBounded(est, tn.obs.Registry(), s.cfg.CacheCapacity)
 		set.shedCaches[name] = cardest.NewCacheBounded(shed, tn.obs.Registry(), s.cfg.CacheCapacity)
 	}

@@ -11,6 +11,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -477,12 +478,13 @@ func (s *Server) Close(ctx context.Context) error {
 	return err
 }
 
-// Tenants returns the configured tenant names (order unspecified).
+// Tenants returns the configured tenant names, sorted.
 func (s *Server) Tenants() []string {
 	names := make([]string, 0, len(s.tenants))
-	for name := range s.tenants {
+	for name := range s.tenants { //detlint:ignore — sorted immediately below
 		names = append(names, name)
 	}
+	sort.Strings(names)
 	return names
 }
 
@@ -521,16 +523,18 @@ func (s *Server) MetricsSnapshot() obs.MetricsSnapshot {
 	if out.Histograms == nil {
 		out.Histograms = map[string]obs.HistSummary{}
 	}
-	for name, tn := range s.tenants {
+	// Aggregation into key-disjoint map entries; iteration order cannot
+	// leak into the merged snapshot.
+	for name, tn := range s.tenants { //detlint:ignore — order-independent merge
 		snap := tn.obs.Registry().Snapshot()
 		prefix := "tenant." + name + "."
-		for k, v := range snap.Counters {
+		for k, v := range snap.Counters { //detlint:ignore — order-independent merge
 			out.Counters[prefix+k] = v
 		}
-		for k, v := range snap.Gauges {
+		for k, v := range snap.Gauges { //detlint:ignore — order-independent merge
 			out.Gauges[prefix+k] = v
 		}
-		for k, v := range snap.Histograms {
+		for k, v := range snap.Histograms { //detlint:ignore — order-independent merge
 			out.Histograms[prefix+k] = v
 		}
 	}

@@ -104,7 +104,9 @@ func (t *sessionTable) sweep(now time.Time) int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
-	for key, s := range t.m {
+	// Expiry sweep: each entry is tested and deleted independently, so
+	// iteration order cannot change which sessions survive.
+	for key, s := range t.m { //detlint:ignore — order-independent sweep
 		if now.Sub(s.lastUsed) > t.ttl {
 			delete(t.m, key)
 			n++

@@ -1,0 +1,252 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/lpce-db/lpce/internal/catalog"
+)
+
+// segTestData generates value distributions that steer buildSegment into
+// each encoding: constants (dict, width 0), low-NDV categoricals (dict),
+// dense ranges (frame-of-reference pack), and wide random values (raw).
+func segTestData(rng *rand.Rand, kind string, n int) []int64 {
+	vals := make([]int64, n)
+	switch kind {
+	case "constant":
+		c := rng.Int63n(1000) - 500
+		for i := range vals {
+			vals[i] = c
+		}
+	case "low-ndv":
+		ndv := 2 + rng.Intn(dictMaxNDV-2)
+		// Distinct values spread wide so pack would need many bits and the
+		// dictionary wins.
+		dict := make([]int64, ndv)
+		for i := range dict {
+			dict[i] = rng.Int63n(1 << 40)
+		}
+		for i := range vals {
+			vals[i] = dict[rng.Intn(ndv)]
+		}
+	case "dense-range":
+		base := rng.Int63n(1<<50) - (1 << 49)
+		spread := int64(1) << (10 + uint(rng.Intn(20)))
+		for i := range vals {
+			vals[i] = base + rng.Int63n(spread)
+		}
+	case "wide":
+		for i := range vals {
+			vals[i] = rng.Int63() - rng.Int63()
+		}
+	}
+	return vals
+}
+
+var segKinds = []string{"constant", "low-ndv", "dense-range", "wide"}
+
+// TestSegmentRoundTrip is the encode/decode property suite: for every
+// encoding-steering distribution and a spread of segment lengths, the
+// segment must reproduce the source column exactly — value by value via
+// Get, in bulk via DecodeRange over random sub-ranges, and strided via
+// Gather over random selection vectors — and its zone map must be the true
+// min/max.
+func TestSegmentRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{1, 2, 63, 64, 65, 1000, 4096, 5000}
+	for _, kind := range segKinds {
+		for _, n := range lengths {
+			for trial := 0; trial < 3; trial++ {
+				vals := segTestData(rng, kind, n)
+				seg := buildSegment(vals)
+				if seg.Rows() != n {
+					t.Fatalf("%s/%d: rows = %d", kind, n, seg.Rows())
+				}
+				mn, mx := vals[0], vals[0]
+				for _, v := range vals {
+					if v < mn {
+						mn = v
+					}
+					if v > mx {
+						mx = v
+					}
+				}
+				if seg.Min != mn || seg.Max != mx {
+					t.Fatalf("%s/%d (%v): zone map [%d,%d], want [%d,%d]",
+						kind, n, seg.Encoding(), seg.Min, seg.Max, mn, mx)
+				}
+				for i, want := range vals {
+					if got := seg.Get(i); got != want {
+						t.Fatalf("%s/%d (%v): Get(%d) = %d, want %d",
+							kind, n, seg.Encoding(), i, got, want)
+					}
+				}
+				var buf []int64
+				for r := 0; r < 5; r++ {
+					lo := rng.Intn(n)
+					hi := lo + 1 + rng.Intn(n-lo)
+					buf = seg.DecodeRange(buf[:0], lo, hi)
+					for k, got := range buf {
+						if got != vals[lo+k] {
+							t.Fatalf("%s/%d (%v): DecodeRange(%d,%d)[%d] = %d, want %d",
+								kind, n, seg.Encoding(), lo, hi, k, got, vals[lo+k])
+						}
+					}
+					// buf may alias the raw column; reset to a private slice so
+					// the next DecodeRange cannot scribble on it.
+					if seg.Encoding() == EncRaw {
+						buf = nil
+					}
+				}
+				base := 100 * 4096
+				sel := make([]int32, 0, 64)
+				for len(sel) < 64 {
+					sel = append(sel, int32(base+rng.Intn(n)))
+				}
+				stride := 3
+				dst := make([]int64, len(sel)*stride)
+				seg.Gather(dst, stride, sel, base)
+				for k, r := range sel {
+					if dst[k*stride] != vals[int(r)-base] {
+						t.Fatalf("%s/%d (%v): Gather[%d] = %d, want %d",
+							kind, n, seg.Encoding(), k, dst[k*stride], vals[int(r)-base])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSegmentEncodingSelection pins the encoding chooser to the documented
+// rules, including that the chosen encodings actually compress.
+func TestSegmentEncodingSelection(t *testing.T) {
+	constant := buildSegment([]int64{42, 42, 42, 42})
+	if constant.Encoding() != EncDict || constant.EncodedBits() != 0 {
+		t.Fatalf("constant: %v/%d bits", constant.Encoding(), constant.EncodedBits())
+	}
+
+	// 4 distinct values spread over 2^40: dict codes need 2 bits, pack 40.
+	lowNDV := make([]int64, 1000)
+	for i := range lowNDV {
+		lowNDV[i] = int64(i%4) << 38
+	}
+	dict := buildSegment(lowNDV)
+	if dict.Encoding() != EncDict {
+		t.Fatalf("low-NDV: %v", dict.Encoding())
+	}
+	if dict.EncodedBits() != 2 {
+		t.Fatalf("low-NDV: %d bits, want 2", dict.EncodedBits())
+	}
+
+	// Dense range with high NDV: every value distinct, spread fits 10 bits.
+	dense := make([]int64, 1000)
+	for i := range dense {
+		dense[i] = 1_000_000 + int64(i)
+	}
+	pack := buildSegment(dense)
+	if pack.Encoding() != EncPack {
+		t.Fatalf("dense: %v", pack.Encoding())
+	}
+	if pack.EncodedBits() != 10 {
+		t.Fatalf("dense: %d bits, want 10", pack.EncodedBits())
+	}
+
+	// Wide random values: > packMaxBits spread and > dictMaxNDV distinct.
+	rng := rand.New(rand.NewSource(1))
+	wide := make([]int64, 1000)
+	for i := range wide {
+		wide[i] = rng.Int63()
+	}
+	raw := buildSegment(wide)
+	if raw.Encoding() != EncRaw {
+		t.Fatalf("wide: %v", raw.Encoding())
+	}
+}
+
+func segTestTable(t *testing.T, nRows int) *Table {
+	t.Helper()
+	meta := &catalog.Table{Name: "seg_t", Columns: []*catalog.Column{
+		{Name: "a", Pos: 0}, {Name: "b", Pos: 1},
+	}}
+	for _, c := range meta.Columns {
+		c.Table = meta
+	}
+	tbl := NewTable(meta, nRows)
+	for i := 0; i < nRows; i++ {
+		tbl.Cols[0][i] = int64(i)
+		tbl.Cols[1][i] = int64(i % 7)
+	}
+	return tbl
+}
+
+// TestTableSealLifecycle covers the seal state machine: FinishLoad seals
+// and builds segments covering every row; direct AppendRows is rejected
+// while sealed; MaintenanceAppend unseals, keeps only the clean segment
+// prefix, and the next FinishLoad rebuilds just the dirtied tail (reusing
+// untouched segment objects).
+func TestTableSealLifecycle(t *testing.T) {
+	defer SetSegmentRows(64)()
+	tbl := segTestTable(t, 300)
+
+	if tbl.Sealed() {
+		t.Fatal("fresh table should not be sealed")
+	}
+	if tbl.Segments(0) != nil {
+		t.Fatal("unsealed table should expose no segments")
+	}
+	if err := tbl.AppendRows([][]int64{{300, 300 % 7}}); err != nil {
+		t.Fatalf("pre-seal append: %v", err)
+	}
+
+	tbl.FinishLoad()
+	if !tbl.Sealed() || tbl.SegRows() != 64 {
+		t.Fatalf("sealed=%v segRows=%d", tbl.Sealed(), tbl.SegRows())
+	}
+	segs := tbl.Segments(0)
+	wantSegs := (301 + 63) / 64
+	if len(segs) != wantSegs {
+		t.Fatalf("segments = %d, want %d", len(segs), wantSegs)
+	}
+	total := 0
+	for _, s := range segs {
+		total += s.Rows()
+	}
+	if total != 301 {
+		t.Fatalf("segment rows sum to %d, want 301", total)
+	}
+	if err := tbl.AppendRows([][]int64{{1, 1}}); err == nil {
+		t.Fatal("sealed append should fail")
+	}
+
+	// Dirty the tail: 301 rows at 64/segment = 4 full + 1 ragged segment;
+	// appending must keep the 4 full ones and drop the ragged one.
+	keep := append([]*Segment(nil), segs[:4]...)
+	tbl.MaintenanceAppend([][]int64{{301, 301 % 7}, {302, 302 % 7}})
+	if tbl.Sealed() {
+		t.Fatal("maintenance append should unseal")
+	}
+	tbl.FinishLoad()
+	segs2 := tbl.Segments(0)
+	if len(segs2) != (303+63)/64 {
+		t.Fatalf("segments after reseal = %d", len(segs2))
+	}
+	for g, s := range keep {
+		if segs2[g] != s {
+			t.Fatalf("full segment %d was rebuilt instead of reused", g)
+		}
+	}
+	for i := 0; i < 303; i++ {
+		g, off := i/64, i%64
+		if got := segs2[g].Get(off); got != int64(i) {
+			t.Fatalf("row %d after reseal = %d", i, got)
+		}
+	}
+
+	// Changing the granularity invalidates the reuse prefix wholesale.
+	restore := SetSegmentRows(32)
+	tbl.FinishLoad()
+	restore()
+	if got := len(tbl.Segments(0)); got != (303+31)/32 {
+		t.Fatalf("segments after regranulating = %d", got)
+	}
+}

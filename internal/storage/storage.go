@@ -7,6 +7,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,9 +15,17 @@ import (
 	"github.com/lpce-db/lpce/internal/catalog"
 )
 
+// ErrSealed is returned (wrapped with the table name) by AppendRows once
+// FinishLoad has sealed a table: direct appends would race lazy index
+// construction and the encoded segment layer. DML against a sealed table
+// must go through maintain.AppendRows, which uses MaintenanceAppend to
+// invalidate exactly the affected state.
+var ErrSealed = errors.New("table is sealed; route appends through internal/maintain")
+
 // Table holds one relation's data column-major. Reads (including lazy
-// index construction) are safe for concurrent use; AppendRows is not and
-// must be externally synchronized against readers.
+// index construction) are safe for concurrent use; AppendRows,
+// MaintenanceAppend, and FinishLoad are not and must be externally
+// synchronized against readers.
 type Table struct {
 	Meta *catalog.Table
 	Cols [][]int64
@@ -24,6 +33,12 @@ type Table struct {
 	mu      sync.Mutex // guards lazy index construction
 	hashIdx map[int]*HashIndex
 	ordIdx  map[int]*OrderedIndex
+
+	// Segment state (see segment.go). sealed flips on FinishLoad and off
+	// on MaintenanceAppend; scans only trust segments while sealed.
+	sealed  bool
+	segRows int          // segment granularity this table was sealed with
+	segs    [][]*Segment // per column position, nil until first seal
 }
 
 // NewTable allocates a table for the given catalog entry with numRows rows.
@@ -60,11 +75,41 @@ func (t *Table) ColByName(name string) []int64 {
 	return t.Cols[c.Pos]
 }
 
-// AppendRows adds rows to the table (each row must have one value per
-// column), invalidating any indexes built so far. Callers should re-run
-// FinishLoad (and re-ANALYZE statistics) after a batch of appends — the
-// "handling data updates" path the paper defers to future work.
-func (t *Table) AppendRows(rows [][]int64) {
+// AppendRows adds rows to the table during the initial load (each row must
+// have one value per column), invalidating any indexes built so far. Once
+// FinishLoad has sealed the table it returns an error wrapping ErrSealed;
+// post-load DML must go through internal/maintain instead, which pairs the
+// append with segment invalidation and a stats refresh.
+func (t *Table) AppendRows(rows [][]int64) error {
+	if t.sealed {
+		return fmt.Errorf("storage: table %s: %w", t.Meta.Name, ErrSealed)
+	}
+	t.appendRows(rows)
+	return nil
+}
+
+// MaintenanceAppend adds rows to a table that may already be sealed. It
+// unseals the table (scans fall back to the raw path until the next
+// FinishLoad) and drops only the segment tail the new rows dirty, so
+// resealing re-encodes the affected segments instead of the whole table.
+// Callers outside internal/maintain should use maintain.AppendRows.
+func (t *Table) MaintenanceAppend(rows [][]int64) {
+	oldRows := t.NumRows()
+	t.appendRows(rows)
+	if t.sealed && t.segRows > 0 {
+		// Segments fully below the old row count are still exact; the
+		// ragged tail segment (if any) now has stale rows/zone maps.
+		valid := oldRows / t.segRows
+		for c := range t.segs {
+			if valid < len(t.segs[c]) {
+				t.segs[c] = t.segs[c][:valid]
+			}
+		}
+	}
+	t.sealed = false
+}
+
+func (t *Table) appendRows(rows [][]int64) {
 	for _, row := range rows {
 		if len(row) != len(t.Cols) {
 			panic(fmt.Sprintf("storage: row width %d, table %s has %d columns",
@@ -80,7 +125,9 @@ func (t *Table) AppendRows(rows [][]int64) {
 }
 
 // FinishLoad computes per-column statistics (min, max, NDV) into the
-// catalog. Call once after populating the columns.
+// catalog, then seals the table and builds its encoded column segments.
+// Call once after populating the columns; maintain.RefreshStats calls it
+// again after DML, which rebuilds only the segments the DML invalidated.
 func (t *Table) FinishLoad() {
 	for i, meta := range t.Meta.Columns {
 		col := t.Cols[i]
@@ -101,6 +148,39 @@ func (t *Table) FinishLoad() {
 		}
 		meta.Min, meta.Max, meta.NDV = mn, mx, len(distinct)
 	}
+	t.buildSegments()
+	t.sealed = true
+}
+
+// buildSegments (re)encodes the segment layer. Valid segments from a prior
+// seal at the same granularity are reused; appends since then only cost the
+// dirtied tail.
+func (t *Table) buildSegments() {
+	segRows := segmentRows
+	if t.segs == nil || t.segRows != segRows {
+		t.segs = make([][]*Segment, len(t.Cols)) // drops any stale prefix
+	}
+	t.segRows = segRows
+	for c, col := range t.Cols {
+		t.segs[c] = buildColumnSegments(col, segRows, t.segs[c])
+	}
+}
+
+// Sealed reports whether FinishLoad has run with no appends since: the
+// state in which segments and zone maps are trustworthy.
+func (t *Table) Sealed() bool { return t.sealed }
+
+// SegRows returns the segment granularity the table was sealed with, or 0
+// if it has never been sealed.
+func (t *Table) SegRows() int { return t.segRows }
+
+// Segments returns the encoded segments for column pos, or nil if the
+// table is not sealed (scans must then fall back to the raw columns).
+func (t *Table) Segments(pos int) []*Segment {
+	if !t.sealed {
+		return nil
+	}
+	return t.segs[pos]
 }
 
 // HashIndex maps a column value to the row IDs holding it.

@@ -56,6 +56,8 @@ type (
 	DataConfig = datagen.Config
 	// Database is an in-memory column store plus its schema.
 	Database = storage.Database
+	// StorageTable is one relation's columnar data inside a Database.
+	StorageTable = storage.Table
 	// Query is a COUNT(*) select-project-equijoin query.
 	Query = query.Query
 	// Predicate is one filter condition.
