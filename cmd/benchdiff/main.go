@@ -27,6 +27,12 @@
 //     (segments_skipped / segments_total) must not drop more than 20% below
 //     the committed baseline's, its zone-map result counts must match the
 //     raw scan path, and the segmented path must actually have engaged;
+//   - build-side determinism and wall time: the load benchmark's parallel
+//     hash-join build and parallel segment sealing must both report layouts
+//     bitwise identical to their serial oracles, the serial build/seal walls
+//     must not regress beyond -max-regress, the parallel walls must not
+//     exceed serial by more than 10% (parallelism must never cost), and a
+//     candidate missing the block while the baseline carries it fails;
 //   - morsel-parallelism sanity, within the candidate alone: every
 //     "<config>/pxN" run's executor wall must not exceed its serial
 //     "<config>" run's by more than 10% or -min-seconds absolute (whichever
@@ -129,6 +135,62 @@ func compare(w *os.File, base, cand *experiments.BenchSnapshot, maxRegress, minS
 	failures += checkExec(w, cand.Exec, minSeconds)
 	failures += checkServer(w, base.Server, cand.Server, maxRegress, minSeconds)
 	failures += checkStorage(w, base.Storage, cand.Storage)
+	failures += checkLoad(w, base.Load, cand.Load, maxRegress, minSeconds)
+	return failures
+}
+
+// checkLoad gates the build-side benchmark: both parallel build paths — the
+// partitioned hash-join build and parallel segment sealing — must have
+// produced layouts bitwise identical to their serial oracles, the serial
+// build walls must not regress beyond -max-regress against the baseline
+// (with the usual sub-minSeconds slack), and the parallel walls must not
+// exceed their serial counterparts by more than parallelOverhead within the
+// candidate. A candidate that drops the block while the baseline carries it
+// fails — the gate cannot be dodged by not running it.
+func checkLoad(w *os.File, base, cand *experiments.LoadBenchResult, maxRegress, minSeconds float64) int {
+	if cand == nil {
+		if base != nil {
+			fmt.Fprintf(w, "load bench: present in baseline, missing in candidate  REGRESSION\n")
+			return 1
+		}
+		return 0
+	}
+	failures := 0
+	if !cand.BuildLayoutIdentical {
+		fmt.Fprintf(w, "load bench: parallel hash-join build layout diverged from serial  REGRESSION\n")
+		failures++
+	}
+	if !cand.SealLayoutIdentical {
+		fmt.Fprintf(w, "load bench: parallel segment sealing diverged from serial  REGRESSION\n")
+		failures++
+	}
+	if base != nil {
+		failures += checkWall(w, "load", "build wall", base.BuildSerialSeconds, cand.BuildSerialSeconds, maxRegress, minSeconds)
+		failures += checkWall(w, "load", "seal wall", base.SealSerialSeconds, cand.SealSerialSeconds, maxRegress, minSeconds)
+	}
+	overhead := func(label string, serial, parallel float64) {
+		status := "ok"
+		switch {
+		case serial <= 0:
+			status = "no serial wall"
+		case parallel <= serial*(1+parallelOverhead):
+		case parallel-serial < minSeconds:
+			status = "ok (under min-seconds slack)"
+		default:
+			status = "REGRESSION"
+			failures++
+		}
+		speedup := 0.0
+		if parallel > 0 {
+			speedup = serial / parallel
+		}
+		fmt.Fprintf(w, "load bench: %s parallel %8.3fs vs serial %8.3fs  (%.2fx, %d workers)  %s\n",
+			label, parallel, serial, speedup, cand.BuildWorkers, status)
+	}
+	overhead("hash build", cand.BuildSerialSeconds, cand.BuildParallelSeconds)
+	overhead("segment seal", cand.SealSerialSeconds, cand.SealParallelSeconds)
+	fmt.Fprintf(w, "load bench: layouts identical: build %v, seal %v (%d build rows, %d seal rows)\n",
+		cand.BuildLayoutIdentical, cand.SealLayoutIdentical, cand.BuildRows, cand.SealRows)
 	return failures
 }
 

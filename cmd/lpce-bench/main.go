@@ -4,11 +4,12 @@
 //
 //	lpce-bench [-scale tiny|small|full] [-seed N] [-experiment all|table1|
 //	           figure1|endtoend|refinement|ablations|figure17|figure18|
-//	           parallel|observe|trainbench|execbench|storagebench]
+//	           parallel|observe|trainbench|execbench|storagebench|loadbench]
 //	           [-parallel N] [-o file]
 //	           [-trace] [-metrics-out file] [-bench-out file]
 //	           [-timeout D] [-max-mat-rows N] [-exec batch|scalar]
-//	           [-exec-workers N] [-segment-rows N] [-raw-scan]
+//	           [-exec-workers N] [-build-workers N]
+//	           [-segment-rows N] [-raw-scan]
 //	           [-models-in dir] [-train-workers N]
 //	           [-cpuprofile file] [-memprofile file]
 //
@@ -67,6 +68,14 @@
 // (the oracle escape hatch, mirroring engine.Config.RawScan) so the two can
 // be compared under the full observability layer.
 //
+// "loadbench" (also run automatically when -bench-out is set) measures the
+// parallel build side: the partitioned hash-join build and parallel segment
+// sealing against their serial oracles, asserting bitwise layout parity on
+// both. -build-workers sets the sealing parallelism for every load and
+// stats refresh (0 defaults to -exec-workers, matching how
+// engine.Config.BuildWorkers resolves); results are byte-identical to
+// serial sealing for any value.
+//
 // -cpuprofile and -memprofile write pprof profiles covering the selected
 // experiment (setup excluded), for digging into executor hot spots with
 // `go tool pprof`.
@@ -82,6 +91,7 @@ import (
 	"runtime/pprof"
 	"time"
 
+	"github.com/lpce-db/lpce/internal/engine"
 	"github.com/lpce-db/lpce/internal/experiments"
 	"github.com/lpce-db/lpce/internal/query"
 	"github.com/lpce-db/lpce/internal/storage"
@@ -102,6 +112,7 @@ func main() {
 	trainWorkers := flag.Int("train-workers", 0, "training worker goroutines (0 = serial; weights are identical for any value)")
 	execMode := flag.String("exec", "batch", "executor for the observe experiment: batch (default) or scalar")
 	execWorkers := flag.Int("exec-workers", 4, "morsel-parallelism worker count for observe/execbench (<= 1 = serial only)")
+	buildWorkers := flag.Int("build-workers", 0, "parallel segment-sealing workers for loads and stats refresh (0 = match -exec-workers)")
 	segmentRows := flag.Int("segment-rows", 0, "rows per columnar segment (0 = default; applies to data generated after startup)")
 	rawScan := flag.Bool("raw-scan", false, "disable zone-map segment scans and read raw columns (oracle escape hatch)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment to this file")
@@ -117,6 +128,11 @@ func main() {
 	if *segmentRows > 0 {
 		storage.SetSegmentRows(*segmentRows)
 	}
+	// Sealing parallelism defaults to the exec parallelism (resolved the
+	// same way engine.Config does); set before setup so the initial data
+	// load already seals in parallel.
+	bw := engine.Config{ExecWorkers: *execWorkers, BuildWorkers: *buildWorkers}.EffectiveBuildWorkers()
+	storage.SetBuildWorkers(bw)
 	if *trace && *exp == "all" {
 		*exp = "observe"
 	}
@@ -151,6 +167,7 @@ func main() {
 		metricsOut: *metricsOut, benchOut: *benchOut, scale: *scale, seed: *seed,
 		timeout: *timeout, maxMatRows: *maxMatRows, trainWorkers: *trainWorkers,
 		scalarExec: *execMode == "scalar", execWorkers: *execWorkers, rawScan: *rawScan,
+		buildWorkers: bw,
 	}
 	// Profiles cover the experiment only; the setup phase (data generation
 	// and training) would otherwise drown the executor hot spots.
@@ -199,6 +216,7 @@ type obsOpts struct {
 	trainWorkers int
 	scalarExec   bool
 	execWorkers  int
+	buildWorkers int
 	rawScan      bool
 }
 
@@ -265,13 +283,22 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 			return fmt.Errorf("exec bench: batch path result counts differ from scalar")
 		}
 	case "storagebench":
-		r, err := experiments.StorageBench()
+		r, err := experiments.StorageBench(opts.buildWorkers)
 		if err != nil {
 			return err
 		}
 		fmt.Fprintln(w, r.Render())
 		if !r.CountsIdentical {
 			return fmt.Errorf("storage bench: zone-map path result counts differ from raw scan")
+		}
+	case "loadbench":
+		r := experiments.LoadBench(opts.buildWorkers)
+		fmt.Fprintln(w, r.Render())
+		if !r.BuildLayoutIdentical {
+			return fmt.Errorf("load bench: parallel hash-build layout diverges from serial")
+		}
+		if !r.SealLayoutIdentical {
+			return fmt.Errorf("load bench: parallel-sealed segments diverge from serial sealing")
 		}
 	case "observe":
 		r, err := experiments.ObservabilityWithOptions(env, experiments.ObsOptions{
@@ -328,7 +355,7 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 			}
 			// ... and the storage benchmark, so it also watches the segmented
 			// scan path (byte-identity with raw scans and zone-map skip rate).
-			stb, err := experiments.StorageBench()
+			stb, err := experiments.StorageBench(opts.buildWorkers)
 			if err != nil {
 				return err
 			}
@@ -336,6 +363,18 @@ func run(env *experiments.Env, exp string, workers int, w io.Writer, opts obsOpt
 			fmt.Fprintln(w, stb.Render())
 			if !stb.CountsIdentical {
 				return fmt.Errorf("storage bench: zone-map path result counts differ from raw scan")
+			}
+			// ... and the build-side benchmark, so it also watches the
+			// parallel hash-join build and parallel sealing (walls and
+			// bitwise layout parity against the serial oracles).
+			lb := experiments.LoadBench(opts.buildWorkers)
+			snap.Load = lb
+			fmt.Fprintln(w, lb.Render())
+			if !lb.BuildLayoutIdentical {
+				return fmt.Errorf("load bench: parallel hash-build layout diverges from serial")
+			}
+			if !lb.SealLayoutIdentical {
+				return fmt.Errorf("load bench: parallel-sealed segments diverge from serial sealing")
 			}
 			if err := writeJSON(opts.benchOut, snap); err != nil {
 				return err

@@ -5,8 +5,8 @@
 // Usage:
 //
 //	lpce-sql [-titles N] [-seed N] [-estimator histogram|lpce|lpce-r]
-//	         [-models-in dir] [-serve addr] [-tenants a:1,b:2]
-//	         [-rate-qps N] [-rate-burst N]
+//	         [-models-in dir] [-build-workers N] [-serve addr]
+//	         [-tenants a:1,b:2] [-rate-qps N] [-rate-burst N]
 //
 // Interactive shell commands:
 //
@@ -19,6 +19,11 @@
 // With -models-in, the lpce/lpce-r estimators load trained artifacts from a
 // modelio directory (written by cmd/lpce-train against the same -titles and
 // -seed) instead of retraining at startup.
+//
+// -build-workers fans the initial load's segment sealing (and any later
+// stats refresh) across the given worker count; the sealed table is
+// byte-identical to serial sealing for any value. Zero resolves like
+// engine.Config.BuildWorkers (default ExecWorkers, i.e. serial here).
 //
 // With -serve, the process becomes a resident server exposing POST /query,
 // POST /explain, GET /healthz, GET /metrics, and POST /admin/models/swap,
@@ -58,6 +63,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	estName := flag.String("estimator", "lpce-r", "histogram, lpce, or lpce-r")
 	modelsIn := flag.String("models-in", "", "load trained models from this artifact directory instead of training")
+	buildWorkers := flag.Int("build-workers", 0, "parallel segment-sealing workers for the load and stats refresh (0 = engine default)")
 	serve := flag.String("serve", "", "serve HTTP on this address (e.g. :8080) instead of the interactive shell")
 	tenants := flag.String("tenants", "default:1", "comma-separated tenant:weight pairs for -serve")
 	maxConcurrent := flag.Int64("max-concurrent", 8, "admission capacity in weight units for -serve")
@@ -67,6 +73,10 @@ func main() {
 	rateQPS := flag.Float64("rate-qps", 0, "per-tenant sustained request rate for -serve (0 = unlimited)")
 	rateBurst := flag.Int("rate-burst", 0, "per-tenant token-bucket burst depth for -serve (0 = default)")
 	flag.Parse()
+
+	// Resolve sealing parallelism before generating: datagen seals every
+	// table at the end of the load.
+	storage.SetBuildWorkers(engine.Config{BuildWorkers: *buildWorkers}.EffectiveBuildWorkers())
 
 	fmt.Printf("generating database (titles=%d)...\n", *titles)
 	db := datagen.Generate(datagen.Config{Titles: *titles, Seed: *seed})

@@ -78,6 +78,27 @@ type Config struct {
 	// escape hatch for the segment layer, mirroring what ScalarExec is for
 	// the batch executor. Results are byte-identical either way.
 	RawScan bool
+	// BuildWorkers is the sealing parallelism loaders apply on behalf of
+	// this config (via storage.SetBuildWorkers): FinishLoad fans per-column
+	// statistics and per-(column, segment) encoding across this many
+	// workers, byte-equal to serial sealing for any value. Zero defaults to
+	// ExecWorkers; the effective count also clamps to the host's core count.
+	// The engine itself never seals — resolve the value with
+	// EffectiveBuildWorkers at load/refresh sites.
+	BuildWorkers int
+}
+
+// EffectiveBuildWorkers resolves Config.BuildWorkers: itself when positive,
+// else ExecWorkers, never below 1 (serial).
+func (c Config) EffectiveBuildWorkers() int {
+	w := c.BuildWorkers
+	if w <= 0 {
+		w = c.ExecWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // Limits are the per-query resource budgets. The zero value disables every

@@ -1,0 +1,70 @@
+package exec
+
+import "time"
+
+// HashBuildBench measures buildVecTable over n synthetic rows keyed into
+// keySpace distinct values, serially and with workers, returning the
+// best-of-reps walls and whether the two tables have bitwise-identical
+// layouts. It exists for the experiments load_bench block and the nightly
+// scaling probe: vecTable and the build internals are unexported, and
+// measuring here keeps drain/probe costs out of the build wall. The worker
+// count still clamps to the exchange cap (GOMAXPROCS), so a single-core
+// snapshot machine reports an honest 1.0x.
+func HashBuildBench(n, keySpace, workers, reps int) (serialSec, parallelSec float64, identical bool) {
+	rows := hashBuildRows(n, keySpace)
+	conds := []condOffsets{{0, 0}}
+	run := func(w int) (float64, *vecTable) {
+		ctx := &Ctx{}
+		best := 0.0
+		var t *vecTable
+		for r := 0; r < reps; r++ {
+			start := time.Now()
+			t = buildVecTable(ctx, rows, conds, w)
+			sec := time.Since(start).Seconds()
+			if best == 0 || sec < best {
+				best = sec
+			}
+		}
+		return best, t
+	}
+	serialSec, st := run(1)
+	parallelSec, pt := run(workers)
+	return serialSec, parallelSec, vecTablesEqual(st, pt)
+}
+
+// hashBuildRows fabricates n single-column build rows with keys drawn from
+// [0, keySpace) by a fixed-seed LCG — deterministic across runs and hosts.
+func hashBuildRows(n, keySpace int) [][]int64 {
+	rows := make([][]int64, n)
+	vals := make([]int64, n)
+	state := uint64(0x9e3779b97f4a7c15)
+	for i := range rows {
+		state = state*6364136223846793005 + 1442695040888963407
+		vals[i] = int64(state>>33) % int64(keySpace)
+		rows[i] = vals[i : i+1 : i+1]
+	}
+	return rows
+}
+
+// vecTablesEqual reports bitwise layout equality: geometry, slot heads, the
+// hash of every occupied slot, and the full chain-link array (which pins
+// equal-hash chain order down to the last row).
+func vecTablesEqual(a, b *vecTable) bool {
+	if a.mask != b.mask || a.partMask != b.partMask || len(a.next) != len(b.next) {
+		return false
+	}
+	for i := range a.heads {
+		if a.heads[i] != b.heads[i] {
+			return false
+		}
+		if a.heads[i] != -1 && a.hashes[i] != b.hashes[i] {
+			return false
+		}
+	}
+	for i := range a.next {
+		if a.next[i] != b.next[i] {
+			return false
+		}
+	}
+	return true
+}

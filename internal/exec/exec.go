@@ -138,6 +138,13 @@ type Ctx struct {
 	// and the exchange coordinator replays the recorded amounts on the real
 	// Ctx in deterministic morsel order.
 	rec *morselRecorder
+	// buildHashes and buildTails recycle buildVecTable's scratch across the
+	// hash-join builds of one execution (a multi-join plan builds one table
+	// per hash join), like the exchange's arena free-list. Builds all run on
+	// the goroutine executing pipeline-breaker Opens — replica contexts
+	// (rec != nil) never build — so take/put need no lock.
+	buildHashes []uint64
+	buildTails  []int32
 	// layouts memoizes plan.NewLayout per table subset: every join node
 	// resolves left/right/output layouts, and without the cache plan
 	// construction recomputes the same layouts once per node per helper
@@ -159,6 +166,35 @@ func (c *Ctx) Layout(mask query.BitSet) *plan.Layout {
 	c.layouts[mask] = l
 	return l
 }
+
+// takeBuildHashes steals the recycled hash scratch buffer, allocating only
+// when the previous build was smaller. Contents are stale; buildVecTable
+// overwrites every element before reading.
+func (c *Ctx) takeBuildHashes(n int) []uint64 {
+	b := c.buildHashes
+	if cap(b) < n {
+		b = make([]uint64, n)
+	}
+	c.buildHashes = nil
+	return b[:n]
+}
+
+// putBuildHashes returns the hash scratch for the next build to steal.
+func (c *Ctx) putBuildHashes(b []uint64) { c.buildHashes = b }
+
+// takeBuildTails steals the recycled chain-tail scratch (slot-indexed; see
+// vecTable.insert for why stale contents are harmless).
+func (c *Ctx) takeBuildTails(n int) []int32 {
+	b := c.buildTails
+	if cap(b) < n {
+		b = make([]int32, n)
+	}
+	c.buildTails = nil
+	return b[:n]
+}
+
+// putBuildTails returns the chain-tail scratch for the next build to steal.
+func (c *Ctx) putBuildTails(b []int32) { c.buildTails = b }
 
 // charge consumes n work units, failing when the budget is exhausted or the
 // context is cancelled. On a morsel worker's replica context the units are

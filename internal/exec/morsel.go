@@ -2,6 +2,7 @@ package exec
 
 import (
 	"github.com/lpce-db/lpce/internal/plan"
+	"github.com/lpce-db/lpce/internal/storage"
 )
 
 // morselSize is the number of source units (physical rows, index rids, or
@@ -26,11 +27,17 @@ func SetMorselSize(n int) (restore func()) {
 // and returns a function restoring the previous value. It exists for tests
 // that must exercise genuinely concurrent replica pipelines regardless of
 // the host's core count (results are identical either way — that is the
-// property under test); production code never calls it.
+// property under test); production code never calls it. The cap also bounds
+// buildVecTable's workers and forwards to storage.SetSealWorkerCap, so one
+// hook governs every parallel path whose output must match serial.
 func SetExchangeWorkerCap(n int) (restore func()) {
 	old := exchangeWorkerCap
 	exchangeWorkerCap = n
-	return func() { exchangeWorkerCap = old }
+	restoreSeal := storage.SetSealWorkerCap(n)
+	return func() {
+		exchangeWorkerCap = old
+		restoreSeal()
+	}
 }
 
 // morselSource is a batch operator whose output can be split into morsels:

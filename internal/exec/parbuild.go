@@ -22,20 +22,41 @@ func checkVecBuildSize(n int) error {
 }
 
 // buildVecTable indexes the build rows. With workers > 1 and enough rows,
-// the hash of every row is computed by a pool of workers over morsel-sized
-// partitions; the table inserts then happen serially in global row order, so
-// slot placement and chain order are byte-identical to the serial build —
-// hashing is the dominant cost, insertion is a cheap pointer walk.
-func buildVecTable(rows [][]int64, conds []condOffsets, workers int) *vecTable {
+// both passes are parallel: the hash of every row is computed by a pool of
+// workers over morsel-sized chunks, then the same pool inserts rows into
+// disjoint partition ranges of the slot array. Because probing is bounded to
+// a row's home partition (see vecTable), a partition's final layout depends
+// only on the rows homed in it taken in global row order — each worker scans
+// all hashes in that order and inserts exactly the rows it owns, so slot
+// placement and equal-hash chain order are bitwise identical to the serial
+// build for any worker count. A morsel-sized cutoff keeps small builds on
+// the serial path, and the worker count is clamped like the exchange's
+// (GOMAXPROCS by default; SetExchangeWorkerCap caps builds too).
+//
+// The hash and chain-tail scratch buffers are recycled through ctx (one
+// execution can build several hash tables), like the exchange's arena
+// free-list; builds run on the single goroutine that executes pipeline-
+// breaker Opens, so no locking is needed.
+func buildVecTable(ctx *Ctx, rows [][]int64, conds []condOffsets, workers int) *vecTable {
 	t := newVecTable(len(rows))
-	tails := make([]int32, len(t.heads))
-	if workers < 2 || len(rows) < 2*morselSize {
+	tails := ctx.takeBuildTails(len(t.heads))
+	defer ctx.putBuildTails(tails)
+	if workers > exchangeWorkerCap {
+		workers = exchangeWorkerCap
+	}
+	nparts := t.partitions()
+	if workers < 2 || len(rows) < 2*morselSize || nparts < 2 {
 		for i, row := range rows {
-			t.insert(int32(i), hashRowConds(row, conds, false), tails)
+			if !t.insert(int32(i), hashRowConds(row, conds, false), tails) {
+				t.rebuildGlobal(nil, rows, conds, tails)
+				break
+			}
 		}
 		return t
 	}
-	hashes := make([]uint64, len(rows))
+
+	hashes := ctx.takeBuildHashes(len(rows))
+	defer ctx.putBuildHashes(hashes)
 	nm := (len(rows) + morselSize - 1) / morselSize
 	if workers > nm {
 		workers = nm
@@ -60,10 +81,67 @@ func buildVecTable(rows [][]int64, conds []condOffsets, workers int) *vecTable {
 		}()
 	}
 	wg.Wait()
-	// Deterministic merge: insertion order is the global row order, exactly
-	// as the serial loop would have inserted.
-	for i := range rows {
-		t.insert(int32(i), hashes[i], tails)
+
+	// Partitioned insert: worker w owns the contiguous partitions
+	// [w*nparts/workers, (w+1)*nparts/workers) — a contiguous slot range, so
+	// ownership is a pair of comparisons on the home slot. Every write is
+	// owner-private: heads/hashes/tails are indexed by slots of owned
+	// partitions, and next is indexed by rows, each of which has exactly one
+	// home partition (equal hashes share one). Each worker inserts its rows
+	// in global row order, which is the same subsequence the serial loop
+	// would feed that partition — hence the bitwise-equal layout.
+	if workers > nparts {
+		workers = nparts
+	}
+	partSlots := t.partMask + 1
+	var overflow atomic.Bool
+	for w := 0; w < workers; w++ {
+		slotLo := uint64(w*nparts/workers) * partSlots
+		slotHi := uint64((w+1)*nparts/workers) * partSlots
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i, h := range hashes {
+				if home := h & t.mask; home < slotLo || home >= slotHi {
+					continue
+				}
+				if !t.insert(int32(i), h, tails) {
+					// A full partition is decided purely by the data (the
+					// owner saw exactly the serial build's insert sequence
+					// for it), so every worker count — including the serial
+					// path — falls back on the same input.
+					overflow.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if overflow.Load() {
+		t.rebuildGlobal(hashes, rows, conds, tails)
 	}
 	return t
+}
+
+// rebuildGlobal re-places every row using plain linear probing over the
+// whole slot array (partMask == mask) after a partition overflowed. The
+// table is at most half full, so every probe finds an empty slot and the
+// bounded walk in insert never trips. hashes may be nil (the serial path
+// does not keep them), in which case they are recomputed.
+func (v *vecTable) rebuildGlobal(hashes []uint64, rows [][]int64, conds []condOffsets, tails []int32) {
+	v.partMask = v.mask
+	for i := range v.heads {
+		v.heads[i] = -1
+	}
+	for i, row := range rows {
+		var h uint64
+		if hashes != nil {
+			h = hashes[i]
+		} else {
+			h = hashRowConds(row, conds, false)
+		}
+		if !v.insert(int32(i), h, tails) {
+			panic("exec: vecTable global rebuild overflowed a half-full table")
+		}
+	}
 }

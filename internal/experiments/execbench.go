@@ -41,6 +41,15 @@ type ExecBenchResult struct {
 	// path (not scalar/parallel), isolating what the exchange adds.
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
 
+	// Build wall: the vecTable build phase alone (drain and probe excluded)
+	// over BuildBenchRows synthetic rows, serial vs ExecWorkers. The
+	// serial/parallel layout parity and the gated comparison live in the
+	// load_bench block; these fields localize a build-side regression when
+	// the probe walls move.
+	BuildBenchRows           int     `json:"build_bench_rows"`
+	BuildWallSeconds         float64 `json:"build_wall_seconds"`
+	ParallelBuildWallSeconds float64 `json:"parallel_build_wall_seconds,omitempty"`
+
 	// Suite: executor wall (T_E only) across the JOB-like queries.
 	SuiteQueries         int     `json:"suite_queries"`
 	SuiteScalarSeconds   float64 `json:"suite_scalar_exec_seconds"`
@@ -154,6 +163,16 @@ func ExecBench(e *Env, execWorkers int) (*ExecBenchResult, error) {
 		}
 	}
 
+	// Build wall: the hash-table build phase in isolation, at a row count
+	// that clears the parallel path's morsel cutoff.
+	const buildBenchRows, buildKeySpace = 1 << 16, 1 << 12
+	res.BuildBenchRows = buildBenchRows
+	buildSerial, buildPar, _ := exec.HashBuildBench(buildBenchRows, buildKeySpace, execWorkers, reps)
+	res.BuildWallSeconds = buildSerial
+	if res.ExecWorkers > 1 {
+		res.ParallelBuildWallSeconds = buildPar
+	}
+
 	// Suite comparison: the JOB-like queries end to end, summing executor
 	// wall only, with the result counts cross-checked.
 	queries, err := joblike.Queries(e.DB.Schema)
@@ -225,6 +244,8 @@ func (r *ExecBenchResult) Render() string {
 	t.AddRow(fmt.Sprintf("JOB-like suite T_E (%d queries)", r.SuiteQueries),
 		FmtDur(r.SuiteScalarSeconds), FmtDur(r.SuiteBatchSeconds),
 		fmt.Sprintf("%.2fx", r.SuiteSpeedup))
+	t.AddRow(fmt.Sprintf("hash build wall (%d rows)", r.BuildBenchRows),
+		FmtDur(r.BuildWallSeconds), "", "")
 	out := t.String()
 	if r.ExecWorkers > 1 {
 		p := &Table{
@@ -237,6 +258,13 @@ func (r *ExecBenchResult) Render() string {
 		p.AddRow(fmt.Sprintf("JOB-like suite T_E (%d queries)", r.SuiteQueries),
 			FmtDur(r.SuiteBatchSeconds), FmtDur(r.SuiteParallelSeconds),
 			fmt.Sprintf("%.2fx", r.SuiteParallelSpeedup))
+		buildSpeedup := 0.0
+		if r.ParallelBuildWallSeconds > 0 {
+			buildSpeedup = r.BuildWallSeconds / r.ParallelBuildWallSeconds
+		}
+		p.AddRow(fmt.Sprintf("hash build wall (%d rows)", r.BuildBenchRows),
+			FmtDur(r.BuildWallSeconds), FmtDur(r.ParallelBuildWallSeconds),
+			fmt.Sprintf("%.2fx", buildSpeedup))
 		out += "\n" + p.String()
 	}
 	return out

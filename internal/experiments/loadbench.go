@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/lpce-db/lpce/internal/exec"
+	"github.com/lpce-db/lpce/internal/storage"
+)
+
+// LoadBenchResult is the build-side benchmark recorded in BENCH_e2e.json:
+// the two parallel build paths — the partitioned hash-join build
+// (exec.buildVecTable) and parallel segment sealing (storage FinishLoad) —
+// measured against their serial oracles, with bitwise layout parity checked
+// on both. benchdiff gates on this block: a missing block, a >25% build-wall
+// regression, or any layout divergence fails CI. Speedups track available
+// cores (a single-core host honestly reports ~1.0x because the worker
+// clamps bind); the parity booleans are the machine-independent signal.
+type LoadBenchResult struct {
+	// BuildWorkers is the requested parallelism for both parallel passes
+	// (clamped to the host's cores by the exchange/seal worker caps).
+	BuildWorkers int `json:"build_workers"`
+
+	// Hash-join build: buildVecTable over BuildRows synthetic rows.
+	BuildRows            int     `json:"build_rows"`
+	BuildSerialSeconds   float64 `json:"build_serial_seconds"`
+	BuildParallelSeconds float64 `json:"build_parallel_seconds"`
+	BuildSpeedup         float64 `json:"build_speedup"`
+	BuildLayoutIdentical bool    `json:"build_layout_identical"`
+
+	// Segment sealing: FinishLoad over the clustered storage-bench table.
+	SealRows            int     `json:"seal_rows"`
+	SealCols            int     `json:"seal_cols"`
+	SegmentRows         int     `json:"segment_rows"`
+	SealSerialSeconds   float64 `json:"seal_serial_seconds"`
+	SealParallelSeconds float64 `json:"seal_parallel_seconds"`
+	SealSpeedup         float64 `json:"seal_speedup"`
+	SealLayoutIdentical bool    `json:"seal_layout_identical"`
+}
+
+// LoadBench measures both parallel build paths against their serial
+// oracles. Self-contained: it fabricates its own build rows and bench
+// table, so it needs no Env.
+func LoadBench(buildWorkers int) *LoadBenchResult {
+	const buildRows, keySpace, segs, reps = 1 << 16, 1 << 12, 32, 5
+	if buildWorkers < 1 {
+		buildWorkers = 1
+	}
+	res := &LoadBenchResult{BuildWorkers: buildWorkers, BuildRows: buildRows}
+
+	serial, par, same := exec.HashBuildBench(buildRows, keySpace, buildWorkers, reps)
+	res.BuildSerialSeconds, res.BuildParallelSeconds = serial, par
+	res.BuildLayoutIdentical = same
+	if par > 0 {
+		res.BuildSpeedup = serial / par
+	}
+
+	// Seal walls time FinishLoad only: the table data is rebuilt untimed for
+	// each rep (sealing mutates the table, so each rep needs a fresh one).
+	seal := func(workers int) (float64, *storage.Table) {
+		defer storage.SetBuildWorkers(workers)()
+		best := 0.0
+		var last *storage.Table
+		for r := 0; r < reps; r++ {
+			_, _, st := storageBenchTable(segs)
+			start := time.Now()
+			st.FinishLoad()
+			sec := time.Since(start).Seconds()
+			if best == 0 || sec < best {
+				best = sec
+			}
+			last = st
+		}
+		return best, last
+	}
+	serialSec, st := seal(1)
+	parSec, pt := seal(buildWorkers)
+	res.SealRows, res.SealCols, res.SegmentRows = st.NumRows(), len(st.Cols), st.SegRows()
+	res.SealSerialSeconds, res.SealParallelSeconds = serialSec, parSec
+	if parSec > 0 {
+		res.SealSpeedup = serialSec / parSec
+	}
+	res.SealLayoutIdentical = sealedTablesEqual(st, pt)
+	return res
+}
+
+// sealedTablesEqual compares two independently sealed copies of the same
+// data: catalog statistics, segment geometry, per-segment encoding choice
+// and packed width, zone maps, and every decoded value. Encodings are pure
+// functions of (values, width), so matching all of the above pins the
+// packed words bit for bit.
+func sealedTablesEqual(a, b *storage.Table) bool {
+	if a.NumRows() != b.NumRows() || len(a.Cols) != len(b.Cols) || a.SegRows() != b.SegRows() {
+		return false
+	}
+	for c := range a.Cols {
+		am, bm := a.Meta.Columns[c], b.Meta.Columns[c]
+		if am.Min != bm.Min || am.Max != bm.Max || am.NDV != bm.NDV {
+			return false
+		}
+		as, bs := a.Segments(c), b.Segments(c)
+		if len(as) != len(bs) {
+			return false
+		}
+		for g := range as {
+			x, y := as[g], bs[g]
+			if x.Rows() != y.Rows() || x.Encoding() != y.Encoding() ||
+				x.EncodedBits() != y.EncodedBits() || x.Min != y.Min || x.Max != y.Max {
+				return false
+			}
+			for i := 0; i < x.Rows(); i++ {
+				if x.Get(i) != y.Get(i) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Render formats the benchmark for terminal output.
+func (r *LoadBenchResult) Render() string {
+	t := &Table{
+		Title: fmt.Sprintf("Build side: serial vs %d workers (layouts identical: build %v, seal %v)",
+			r.BuildWorkers, r.BuildLayoutIdentical, r.SealLayoutIdentical),
+		Header: []string{"phase", "serial", "parallel", "speedup"},
+	}
+	t.AddRow(fmt.Sprintf("hash-join build (%d rows)", r.BuildRows),
+		FmtDur(r.BuildSerialSeconds), FmtDur(r.BuildParallelSeconds),
+		fmt.Sprintf("%.2fx", r.BuildSpeedup))
+	t.AddRow(fmt.Sprintf("segment seal (%d rows x %d cols, %d/seg)", r.SealRows, r.SealCols, r.SegmentRows),
+		FmtDur(r.SealSerialSeconds), FmtDur(r.SealParallelSeconds),
+		fmt.Sprintf("%.2fx", r.SealSpeedup))
+	return t.String()
+}

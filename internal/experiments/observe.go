@@ -275,6 +275,10 @@ type BenchSnapshot struct {
 	// Storage is the segment-scan microbenchmark (raw vs zone-map path,
 	// pruning skip rate), attached when the caller runs it.
 	Storage *StorageBenchResult `json:"storage_bench,omitempty"`
+	// Load is the build-side benchmark (parallel hash-join build and
+	// parallel segment sealing vs their serial oracles, with bitwise layout
+	// parity), attached when the caller runs it.
+	Load *LoadBenchResult `json:"load_bench,omitempty"`
 }
 
 // Snapshot reduces the observability result to the perf snapshot.

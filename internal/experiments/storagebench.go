@@ -36,6 +36,13 @@ type StorageBenchResult struct {
 	SkipRate        float64 `json:"skip_rate"`
 	BytesDecoded    int64   `json:"bytes_decoded"`
 	CountsIdentical bool    `json:"counts_identical"`
+	// Seal walls: FinishLoad over a fresh copy of the bench table, serial
+	// and (when BuildWorkers > 1) fanned across BuildWorkers workers. The
+	// serial/parallel layout parity lives in the load_bench block, which
+	// benchdiff gates.
+	BuildWorkers        int     `json:"build_workers,omitempty"`
+	SealWallSeconds     float64 `json:"seal_wall_seconds"`
+	ParallelSealSeconds float64 `json:"parallel_seal_wall_seconds,omitempty"`
 }
 
 // storageBenchDB builds the clustered synthetic workload: a table whose id
@@ -44,19 +51,8 @@ type StorageBenchResult struct {
 // row number — so equality, range, and IN predicates each overlap only a
 // few segments and the zone maps can prune the rest.
 func storageBenchDB(segs int) (*storage.Database, []*query.Query) {
+	db, t, st := storageBenchTable(segs)
 	segRows := storage.SegmentRows()
-	n := segs * segRows
-	s := catalog.NewSchema()
-	t := s.AddTable("bench_store", catalog.PK("id"), catalog.Attr("grp"), catalog.Attr("val"))
-	db := storage.NewDatabase(s)
-	st := storage.NewTable(t, n)
-	id, grp, val := st.ColByName("id"), st.ColByName("grp"), st.ColByName("val")
-	for i := 0; i < n; i++ {
-		id[i] = int64(i)
-		grp[i] = int64(i / segRows)
-		val[i] = int64(2 * i)
-	}
-	db.Tables[t.ID] = st
 	st.FinishLoad()
 
 	pred := func(col string, op query.Op, operand int64, in ...int64) query.Predicate {
@@ -76,10 +72,32 @@ func storageBenchDB(segs int) (*storage.Database, []*query.Query) {
 	return db, qs
 }
 
+// storageBenchTable builds (without sealing) the clustered bench table at
+// the current segment granularity; LoadBench and the seal-wall measurement
+// reuse it to time FinishLoad on fresh, identical data.
+func storageBenchTable(segs int) (*storage.Database, *catalog.Table, *storage.Table) {
+	segRows := storage.SegmentRows()
+	n := segs * segRows
+	s := catalog.NewSchema()
+	t := s.AddTable("bench_store", catalog.PK("id"), catalog.Attr("grp"), catalog.Attr("val"))
+	db := storage.NewDatabase(s)
+	st := storage.NewTable(t, n)
+	id, grp, val := st.ColByName("id"), st.ColByName("grp"), st.ColByName("val")
+	for i := 0; i < n; i++ {
+		id[i] = int64(i)
+		grp[i] = int64(i / segRows)
+		val[i] = int64(2 * i)
+	}
+	db.Tables[t.ID] = st
+	return db, t, st
+}
+
 // StorageBench measures the segmented scan path against the raw column
-// path on the clustered synthetic table. Self-contained: it builds its own
-// database at the production segment granularity, so it needs no Env.
-func StorageBench() (*StorageBenchResult, error) {
+// path on the clustered synthetic table, plus the wall time of sealing it
+// (serially and, when buildWorkers > 1, with parallel sealing).
+// Self-contained: it builds its own database at the production segment
+// granularity, so it needs no Env.
+func StorageBench(buildWorkers int) (*StorageBenchResult, error) {
 	const segs, reps = 32, 5
 	db, qs := storageBenchDB(segs)
 	res := &StorageBenchResult{
@@ -152,6 +170,28 @@ func StorageBench() (*StorageBenchResult, error) {
 	if res.SegmentsTotal > 0 {
 		res.SkipRate = float64(res.SegmentsSkipped) / float64(res.SegmentsTotal)
 	}
+
+	// Seal walls: each rep rebuilds the table data untimed (sealing mutates
+	// the table) and times FinishLoad alone.
+	sealBest := func(workers int) float64 {
+		defer storage.SetBuildWorkers(workers)()
+		best := 0.0
+		for r := 0; r < reps; r++ {
+			_, _, st := storageBenchTable(segs)
+			start := time.Now()
+			st.FinishLoad()
+			sec := time.Since(start).Seconds()
+			if best == 0 || sec < best {
+				best = sec
+			}
+		}
+		return best
+	}
+	res.SealWallSeconds = sealBest(1)
+	if buildWorkers > 1 {
+		res.BuildWorkers = buildWorkers
+		res.ParallelSealSeconds = sealBest(buildWorkers)
+	}
 	return res, nil
 }
 
@@ -169,5 +209,9 @@ func (r *StorageBenchResult) Render() string {
 	t.AddRow("segments scanned", fmt.Sprint(r.SegmentsTotal))
 	t.AddRow("segments skipped", fmt.Sprintf("%d (%.1f%%)", r.SegmentsSkipped, r.SkipRate*100))
 	t.AddRow("bytes decoded", fmt.Sprint(r.BytesDecoded))
+	t.AddRow("seal wall (serial)", FmtDur(r.SealWallSeconds))
+	if r.BuildWorkers > 1 {
+		t.AddRow(fmt.Sprintf("seal wall (%d workers)", r.BuildWorkers), FmtDur(r.ParallelSealSeconds))
+	}
 	return t.String()
 }

@@ -128,8 +128,10 @@ func AppendRows(t *storage.Table, rows [][]int64) {
 // RefreshStats re-computes catalog column statistics and histogram
 // statistics after data updates (the engine's ANALYZE), re-sealing every
 // table and rebuilding the segments invalidated by DML since the last
-// seal. Learned models are NOT retrained here — Monitor decides when that
-// is worth the cost.
+// seal. Sealing fans out across the storage.SetBuildWorkers pool (set it
+// from engine.Config.EffectiveBuildWorkers; the result is byte-equal to
+// serial sealing for any worker count). Learned models are NOT retrained
+// here — Monitor decides when that is worth the cost.
 func RefreshStats(db *storage.Database) *histogram.Stats {
 	for _, t := range db.Tables {
 		if t != nil {

@@ -288,21 +288,3 @@ func packAll(vals []int64, width uint, code func(int64) uint64) []uint64 {
 	}
 	return packed
 }
-
-// buildColumnSegments slices one sealed column into encoded segments of
-// segRows values (the last one ragged), reusing the valid prefix from a
-// previous seal when the column only grew at the tail.
-func buildColumnSegments(col []int64, segRows int, prefix []*Segment) []*Segment {
-	nSegs := (len(col) + segRows - 1) / segRows
-	segs := make([]*Segment, 0, nSegs)
-	for g := 0; g < nSegs; g++ {
-		lo := g * segRows
-		hi := min(lo+segRows, len(col))
-		if g < len(prefix) && prefix[g] != nil && prefix[g].rows == hi-lo {
-			segs = append(segs, prefix[g])
-			continue
-		}
-		segs = append(segs, buildSegment(col[lo:hi]))
-	}
-	return segs
-}

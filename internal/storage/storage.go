@@ -128,42 +128,78 @@ func (t *Table) appendRows(rows [][]int64) {
 // catalog, then seals the table and builds its encoded column segments.
 // Call once after populating the columns; maintain.RefreshStats calls it
 // again after DML, which rebuilds only the segments the DML invalidated.
+// Both passes fan out across SetBuildWorkers workers (clamped to the core
+// count), byte-equal to serial sealing for any worker count; see parallel.go.
 func (t *Table) FinishLoad() {
-	for i, meta := range t.Meta.Columns {
-		col := t.Cols[i]
-		if len(col) == 0 {
-			meta.Min, meta.Max, meta.NDV = 0, 0, 0
-			continue
-		}
-		mn, mx := col[0], col[0]
-		distinct := make(map[int64]struct{}, 1024)
-		for _, v := range col {
-			if v < mn {
-				mn = v
-			}
-			if v > mx {
-				mx = v
-			}
-			distinct[v] = struct{}{}
-		}
-		meta.Min, meta.Max, meta.NDV = mn, mx, len(distinct)
+	workers := buildWorkers
+	if workers > sealWorkerCap {
+		workers = sealWorkerCap
 	}
-	t.buildSegments()
+	runSealJobs(workers, len(t.Meta.Columns), t.statsColumn)
+	t.buildSegments(workers)
 	t.sealed = true
+}
+
+// statsColumn computes the catalog statistics for column i — each column's
+// stats are independent and exact (order-insensitive), so FinishLoad fans
+// the columns across workers.
+func (t *Table) statsColumn(i int) {
+	meta := t.Meta.Columns[i]
+	col := t.Cols[i]
+	if len(col) == 0 {
+		meta.Min, meta.Max, meta.NDV = 0, 0, 0
+		return
+	}
+	mn, mx := col[0], col[0]
+	distinct := make(map[int64]struct{}, 1024)
+	for _, v := range col {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		distinct[v] = struct{}{}
+	}
+	meta.Min, meta.Max, meta.NDV = mn, mx, len(distinct)
 }
 
 // buildSegments (re)encodes the segment layer. Valid segments from a prior
 // seal at the same granularity are reused; appends since then only cost the
-// dirtied tail.
-func (t *Table) buildSegments() {
+// dirtied tail. The planning pass below is cheap and serial; the encoding
+// work — one job per (column, segment) that cannot be reused — fans out
+// across the worker pool, every job writing only its own t.segs[c][g] slot,
+// so the sealed layout is byte-equal to a serial build.
+func (t *Table) buildSegments(workers int) {
 	segRows := segmentRows
 	if t.segs == nil || t.segRows != segRows {
 		t.segs = make([][]*Segment, len(t.Cols)) // drops any stale prefix
 	}
 	t.segRows = segRows
+	type sealJob struct{ col, seg int }
+	var jobs []sealJob
 	for c, col := range t.Cols {
-		t.segs[c] = buildColumnSegments(col, segRows, t.segs[c])
+		nSegs := (len(col) + segRows - 1) / segRows
+		prefix := t.segs[c]
+		segs := make([]*Segment, nSegs)
+		for g := 0; g < nSegs; g++ {
+			lo := g * segRows
+			hi := min(lo+segRows, len(col))
+			if g < len(prefix) && prefix[g] != nil && prefix[g].rows == hi-lo {
+				segs[g] = prefix[g] // still exact from the prior seal
+				continue
+			}
+			jobs = append(jobs, sealJob{c, g})
+		}
+		t.segs[c] = segs
 	}
+	runSealJobs(workers, len(jobs), func(j int) {
+		c, g := jobs[j].col, jobs[j].seg
+		col := t.Cols[c]
+		lo := g * segRows
+		hi := min(lo+segRows, len(col))
+		t.segs[c][g] = buildSegment(col[lo:hi])
+	})
 }
 
 // Sealed reports whether FinishLoad has run with no appends since: the
